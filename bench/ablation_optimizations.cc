@@ -1,0 +1,131 @@
+// Ablations of the FLASHWARE runtime optimizations (paper §IV-C):
+//   1. synchronize critical properties only (Table II) — bytes shipped with
+//      field masking on vs off, on algorithms with master-local state;
+//   2. communicate with necessary mirrors only — neighbour-mask sync vs
+//      broadcast-to-all-partitions;
+//   3. overlap communication with computation — modelled cluster time with
+//      per-superstep max(compute, comm) vs compute + comm.
+// Each ablation also cross-checks that results are unchanged (the
+// optimizations must be transparent).
+
+#include <cstdio>
+
+#include "algorithms/algorithms.h"
+#include "bench/harness/harness.h"
+#include "flashware/cost_model.h"
+
+namespace flash::bench {
+namespace {
+
+void PrintRow(const char* name, uint64_t bytes_on, uint64_t bytes_off,
+              uint64_t msgs_on, uint64_t msgs_off) {
+  std::printf("%-28s %12llu %12llu %7.2fx %12llu %12llu %7.2fx\n", name,
+              static_cast<unsigned long long>(bytes_on),
+              static_cast<unsigned long long>(bytes_off),
+              bytes_on > 0 ? static_cast<double>(bytes_off) / bytes_on : 0.0,
+              static_cast<unsigned long long>(msgs_on),
+              static_cast<unsigned long long>(msgs_off),
+              msgs_on > 0 ? static_cast<double>(msgs_off) / msgs_on : 0.0);
+}
+
+int Main() {
+  std::printf("FLASHWARE optimization ablations (scale=%.3g, %d workers)\n",
+              BenchScale(), BenchWorkers());
+  const GraphPtr& or_graph = LoadDataset("OR").graph;
+  const GraphPtr& us_graph = LoadDataset("US").graph;
+
+  RuntimeOptions on;
+  on.num_workers = BenchWorkers();
+
+  // --- 1. critical properties only ---------------------------------------
+  std::printf("\n[1] synchronize critical properties only (Table II)\n");
+  std::printf("%-28s %12s %12s %7s %12s %12s %7s\n", "workload", "bytes(on)",
+              "bytes(off)", "save", "msgs(on)", "msgs(off)", "save");
+  {
+    RuntimeOptions off = on;
+    off.sync_critical_only = false;
+    auto a = algo::RunCcOpt(us_graph, on);
+    auto b = algo::RunCcOpt(us_graph, off);
+    FLASH_CHECK(a.label == b.label) << "critical-only sync changed results";
+    PrintRow("CC-opt on US", a.metrics.bytes, b.metrics.bytes,
+             a.metrics.messages, b.metrics.messages);
+    auto c = algo::RunKCoreOpt(or_graph, on);
+    auto d = algo::RunKCoreOpt(or_graph, off);
+    FLASH_CHECK(c.core == d.core) << "critical-only sync changed results";
+    PrintRow("KC-opt on OR", c.metrics.bytes, d.metrics.bytes,
+             c.metrics.messages, d.metrics.messages);
+  }
+
+  // --- 2. necessary mirrors only ------------------------------------------
+  std::printf("\n[2] communicate with necessary mirrors only\n");
+  std::printf("%-28s %12s %12s %7s %12s %12s %7s\n", "workload", "bytes(on)",
+              "bytes(off)", "save", "msgs(on)", "msgs(off)", "save");
+  {
+    RuntimeOptions off = on;
+    off.necessary_mirrors_only = false;
+    auto a = algo::RunBfs(or_graph, 0, on);
+    auto b = algo::RunBfs(or_graph, 0, off);
+    FLASH_CHECK(a.distance == b.distance) << "mirror masking changed results";
+    PrintRow("BFS on OR", a.metrics.bytes, b.metrics.bytes, a.metrics.messages,
+             b.metrics.messages);
+    auto c = algo::RunCcBasic(us_graph, on);
+    auto d = algo::RunCcBasic(us_graph, off);
+    FLASH_CHECK(c.label == d.label) << "mirror masking changed results";
+    PrintRow("CC-basic on US", c.metrics.bytes, d.metrics.bytes,
+             c.metrics.messages, d.metrics.messages);
+  }
+
+  // --- 3. overlap communication with computation ---------------------------
+  std::printf("\n[3] overlap communication with computation (modelled on 4 "
+              "nodes x 32 cores)\n");
+  {
+    ClusterConfig overlap = CalibrateComputeRate();
+    overlap.nodes = 4;
+    overlap.cores_per_node = 32;
+    ClusterConfig serial = overlap;
+    serial.overlap_comm_compute = false;
+    auto bc = algo::RunBc(or_graph, 0, on);
+    double t_overlap = ModelTime(bc.metrics, overlap).total;
+    double t_serial = ModelTime(bc.metrics, serial).total;
+    std::printf("BC on OR: overlapped=%ss, serialised=%ss (%.2fx)\n",
+                FormatSeconds(t_overlap).c_str(),
+                FormatSeconds(t_serial).c_str(), t_serial / t_overlap);
+    auto cc = algo::RunCcBasic(us_graph, on);
+    t_overlap = ModelTime(cc.metrics, overlap).total;
+    t_serial = ModelTime(cc.metrics, serial).total;
+    std::printf("CC-basic on US: overlapped=%ss, serialised=%ss (%.2fx)\n",
+                FormatSeconds(t_overlap).c_str(),
+                FormatSeconds(t_serial).c_str(), t_serial / t_overlap);
+  }
+  // --- 4. partitioning scheme (design-choice ablation, DESIGN.md) ----------
+  std::printf("\n[4] partition scheme: hash vs chunk (cut edges, mirrors, "
+              "BFS traffic)\n");
+  {
+    for (const char* abbr : {"OR", "US"}) {
+      const GraphPtr& g = LoadDataset(abbr).graph;
+      for (auto scheme : {PartitionScheme::kHash, PartitionScheme::kChunk}) {
+        RuntimeOptions opt = on;
+        opt.partition = scheme;
+        auto part = Partition::Create(g, opt.num_workers, scheme).value();
+        auto bfs = algo::RunBfs(g, 0, opt);
+        std::printf("%-4s %-6s cut=%9llu mirrors=%9llu bfs_bytes=%9llu\n",
+                    abbr,
+                    scheme == PartitionScheme::kHash ? "hash" : "chunk",
+                    static_cast<unsigned long long>(part.CutEdges(*g)),
+                    static_cast<unsigned long long>(part.TotalMirrors()),
+                    static_cast<unsigned long long>(bfs.metrics.bytes));
+      }
+    }
+    std::printf("(expected: chunk wins on spatially local road networks, "
+                "hash balances skewed social graphs)\n");
+  }
+
+  std::printf("\nAll ablations verified result-identical with optimizations "
+              "on and off.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace flash::bench
+
+int main() { return flash::bench::Main(); }

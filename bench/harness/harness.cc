@@ -1,0 +1,197 @@
+#include "bench/harness/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.h"
+#include "flashware/cost_model.h"
+
+namespace flash::bench {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("FLASH_BENCH_SCALE");
+    double value = env ? std::atof(env) : 0.25;
+    return value > 0 ? value : 0.25;
+  }();
+  return scale;
+}
+
+int BenchWorkers() {
+  static const int workers = [] {
+    const char* env = std::getenv("FLASH_BENCH_WORKERS");
+    int value = env ? std::atoi(env) : 4;
+    return value >= 1 && value <= 64 ? value : 4;
+  }();
+  return workers;
+}
+
+const DatasetInfo& LoadDataset(const std::string& abbr, bool weighted,
+                               bool directed) {
+  static std::map<std::string, DatasetInfo>& cache =
+      *new std::map<std::string, DatasetInfo>();
+  std::string key = abbr + (weighted ? "+w" : "") + (directed ? "+d" : "");
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto info = MakeDataset(abbr, BenchScale(), weighted, directed);
+    FLASH_CHECK(info.ok()) << info.status().ToString();
+    it = cache.emplace(key, std::move(info).value()).first;
+  }
+  return it->second;
+}
+
+Cell TimeCell(const std::function<Metrics()>& fn) {
+  Cell cell;
+  Timer timer;
+  cell.metrics = fn();
+  cell.seconds = timer.Seconds();
+  return cell;
+}
+
+void PriceCell(Cell& cell, bool shared_memory) {
+  static const ClusterConfig& base = *new ClusterConfig(CalibrateComputeRate());
+  ClusterConfig config = base;
+  if (shared_memory) {
+    config.nodes = 1;
+    config.cores_per_node = 32;
+    config.barrier_seconds = 4e-6;  // Shared-memory join, not a network one.
+  } else {
+    config.nodes = BenchWorkers();
+    config.cores_per_node = 32;
+  }
+  cell.modeled = ModelTime(cell.metrics, config).total;
+}
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ResultTable::Set(const std::string& row, const std::string& column,
+                      Cell cell) {
+  if (cells_.find(row) == cells_.end()) row_order_.push_back(row);
+  cells_[row][column] = std::move(cell);
+}
+
+const Cell* ResultTable::Get(const std::string& row,
+                             const std::string& column) const {
+  auto rit = cells_.find(row);
+  if (rit == cells_.end()) return nullptr;
+  auto cit = rit->second.find(column);
+  return cit == rit->second.end() ? nullptr : &cit->second;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  if (seconds < 0.01) {
+    std::snprintf(buffer, sizeof(buffer), "%.4f", seconds);
+  } else if (seconds < 10) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f", seconds);
+  }
+  return buffer;
+}
+
+namespace {
+std::string CellText(const Cell* cell) {
+  if (cell == nullptr) return "";
+  if (!cell->supported) return "-";
+  if (!cell->seconds.has_value()) return cell->note.empty() ? "OT" : cell->note;
+  std::string text = FormatSeconds(*cell->seconds);
+  if (!cell->note.empty()) text += " (" + cell->note + ")";
+  return text;
+}
+
+// Tables and the heat map compare wall-clock of the same-host simulation:
+// at twin scale a priced cluster superstep is dominated by the fixed
+// barrier latency (microsecond-sized work), which would compare barrier
+// counts rather than engines. The cost-model price is still written to the
+// CSVs (modeled column) and drives the scaling figures, where per-superstep
+// compute is substantial.
+double CellMetric(const Cell& cell) { return cell.seconds.value_or(0); }
+}  // namespace
+
+void ResultTable::Print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  size_t row_width = 12;
+  for (const auto& row : row_order_) row_width = std::max(row_width, row.size());
+  std::printf("%-*s", static_cast<int>(row_width + 2), "");
+  for (const auto& col : columns_) std::printf("%14s", col.c_str());
+  std::printf("\n");
+  for (const auto& row : row_order_) {
+    std::printf("%-*s", static_cast<int>(row_width + 2), row.c_str());
+    for (const auto& col : columns_) {
+      std::printf("%14s", CellText(Get(row, col)).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void ResultTable::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "row";
+  for (const auto& col : columns_) out << "," << col;
+  out << "\n";
+  for (const auto& row : row_order_) {
+    out << row;
+    for (const auto& col : columns_) {
+      out << ",";
+      const Cell* cell = Get(row, col);
+      if (cell != nullptr && cell->supported && cell->seconds.has_value()) {
+        out << *cell->seconds;
+        if (cell->modeled.has_value()) out << ";" << *cell->modeled;
+      }
+    }
+    out << "\n";
+  }
+}
+
+void PrintSlowdownHeatmap(
+    const std::vector<std::pair<std::string, const ResultTable*>>& frameworks) {
+  if (frameworks.empty()) return;
+  const ResultTable* first = frameworks.front().second;
+  std::printf("\n=== Slowdown heat map (Fig. 1 style: x = slowdown vs the "
+              "fastest framework per cell; '-' = inexpressible) ===\n");
+  size_t name_width = 10;
+  for (const auto& [name, table] : frameworks) {
+    (void)table;
+    name_width = std::max(name_width, name.size());
+  }
+  for (const auto& row : first->rows()) {
+    std::printf("%s:\n", row.c_str());
+    for (const auto& [name, table] : frameworks) {
+      std::printf("  %-*s", static_cast<int>(name_width + 2), name.c_str());
+      for (const auto& col : first->columns()) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& [other_name, other] : frameworks) {
+          (void)other_name;
+          const Cell* cell = other->Get(row, col);
+          if (cell != nullptr && cell->supported && cell->seconds.has_value()) {
+            best = std::min(best, std::max(CellMetric(*cell), 1e-9));
+          }
+        }
+        const Cell* cell = table->Get(row, col);
+        std::string text;
+        if (cell == nullptr || !cell->supported) {
+          text = "-";
+        } else if (!cell->seconds.has_value()) {
+          text = "fail";
+        } else if (!std::isfinite(best)) {
+          text = "?";
+        } else {
+          char buffer[32];
+          std::snprintf(buffer, sizeof(buffer), "%.1fx",
+                        std::max(CellMetric(*cell), 1e-9) / best);
+          text = buffer;
+        }
+        std::printf("%9s", text.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace flash::bench

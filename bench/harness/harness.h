@@ -1,0 +1,89 @@
+#ifndef FLASH_BENCH_HARNESS_HARNESS_H_
+#define FLASH_BENCH_HARNESS_HARNESS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "flashware/metrics.h"
+#include "graph/datasets.h"
+
+namespace flash::bench {
+
+/// Shared plumbing for the table/figure reproduction binaries: dataset
+/// loading with a global scale knob, cell timing, aligned table printing in
+/// the paper's layout, and the Fig. 1 slowdown heat map.
+
+/// Scale factor for the dataset twins; FLASH_BENCH_SCALE overrides
+/// (default 0.25 so the full suite completes on a laptop core).
+double BenchScale();
+
+/// Simulated workers per run; FLASH_BENCH_WORKERS overrides (default 4,
+/// matching the paper's 4-node cluster).
+int BenchWorkers();
+
+/// Loads (and caches) a dataset twin at the bench scale.
+const DatasetInfo& LoadDataset(const std::string& abbr, bool weighted = false,
+                               bool directed = false);
+
+/// One table cell: a timed run, an unsupported marker, or a failure.
+struct Cell {
+  std::optional<double> seconds;  // Wall-clock of the simulation.
+  std::optional<double> modeled;  // Cost-model time on the paper's cluster.
+  bool supported = true;
+  std::string note;  // e.g. "OT" / variant name.
+  Metrics metrics;
+};
+
+/// Times `fn` (which returns the run's Metrics) into a Cell.
+Cell TimeCell(const std::function<Metrics()>& fn);
+
+/// Prices the cell's measured per-superstep counters on the paper's
+/// hardware (cost model; see DESIGN.md): BenchWorkers() nodes x 32 cores
+/// for distributed frameworks; 1 node x 32 cores with a cheap shared-memory
+/// barrier when `shared_memory` (the Ligra column). Fills cell.modeled —
+/// the number the tables and the Fig. 1 heat map report, since wall-clock
+/// of a one-host simulation cannot show multi-node parallelism.
+void PriceCell(Cell& cell, bool shared_memory = false);
+
+/// A row-major results table: rows (app or app+framework), named columns
+/// (datasets), printed in the paper's Table V/VI style.
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> columns);
+
+  void Set(const std::string& row, const std::string& column, Cell cell);
+  const Cell* Get(const std::string& row, const std::string& column) const;
+
+  /// Prints aligned text; unsupported cells print "—", failures "OT".
+  void Print() const;
+
+  /// Writes CSV next to the binary: `wall[;modeled]` seconds per cell,
+  /// empty for unsupported.
+  void WriteCsv(const std::string& path) const;
+
+  const std::vector<std::string>& rows() const { return row_order_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> row_order_;
+  std::map<std::string, std::map<std::string, Cell>> cells_;
+};
+
+/// Fig. 1: for each (app, dataset) the slowdown of every framework against
+/// the fastest framework on that cell. `tables` maps framework -> its
+/// ResultTable (rows = apps, columns = datasets).
+void PrintSlowdownHeatmap(
+    const std::vector<std::pair<std::string, const ResultTable*>>& frameworks);
+
+/// Formats seconds like the paper (3 significant-ish digits).
+std::string FormatSeconds(double seconds);
+
+}  // namespace flash::bench
+
+#endif  // FLASH_BENCH_HARNESS_HARNESS_H_

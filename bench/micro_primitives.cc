@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) for the FLASH primitives: VERTEXMAP,
+// EDGEMAPDENSE, EDGEMAPSPARSE, the adaptive dispatch, subset algebra, the
+// mirror-sync barrier, and the serialisation layer. Throughputs here feed
+// the cost-model calibration sanity checks.
+
+#include <benchmark/benchmark.h>
+
+#include "core/api.h"
+#include "graph/generators.h"
+
+namespace flash {
+namespace {
+
+struct MicroData {
+  uint32_t value = 0;
+  FLASH_FIELDS(value)
+};
+
+GraphPtr BenchGraph() {
+  static GraphPtr graph = [] {
+    RmatOptions options;
+    options.scale = 14;
+    options.avg_degree = 12;
+    options.seed = 9;
+    return GenerateRmat(options).value();
+  }();
+  return graph;
+}
+
+RuntimeOptions Workers(int64_t n) {
+  RuntimeOptions options;
+  options.num_workers = static_cast<int>(n);
+  options.record_trace = false;
+  return options;
+}
+
+void BM_VertexMap(benchmark::State& state) {
+  GraphApi<MicroData> fl(BenchGraph(), Workers(state.range(0)));
+  for (auto _ : state) {
+    auto out = fl.VertexMap(fl.V(), CTrue,
+                            [](MicroData& v, VertexId id) { v.value = id; });
+    benchmark::DoNotOptimize(out.TotalSize());
+  }
+  state.SetItemsProcessed(state.iterations() * fl.NumVertices());
+}
+BENCHMARK(BM_VertexMap)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_EdgeMapDense(benchmark::State& state) {
+  GraphApi<MicroData> fl(BenchGraph(), Workers(state.range(0)));
+  for (auto _ : state) {
+    auto out = fl.EdgeMapDense(
+        fl.V(), fl.E(), CTrue,
+        [](const MicroData& s, MicroData& d) { d.value += s.value; }, CTrue);
+    benchmark::DoNotOptimize(out.TotalSize());
+  }
+  state.SetItemsProcessed(state.iterations() * fl.NumEdges());
+}
+BENCHMARK(BM_EdgeMapDense)->Arg(1)->Arg(4);
+
+void BM_EdgeMapSparse(benchmark::State& state) {
+  GraphApi<MicroData> fl(BenchGraph(), Workers(state.range(0)));
+  // A realistically sparse frontier: every 64th vertex.
+  VertexSubset frontier = fl.VertexMap(
+      fl.V(), [](const MicroData&, VertexId id) { return id % 64 == 0; });
+  for (auto _ : state) {
+    auto out = fl.EdgeMapSparse(
+        frontier, fl.E(), CTrue,
+        [](const MicroData& s, MicroData& d) { d.value += s.value; }, CTrue,
+        [](const MicroData& t, MicroData& d) { d.value += t.value; });
+    benchmark::DoNotOptimize(out.TotalSize());
+  }
+  state.SetItemsProcessed(state.iterations() * frontier.TotalSize());
+}
+BENCHMARK(BM_EdgeMapSparse)->Arg(1)->Arg(4);
+
+void BM_AdaptiveEdgeMap(benchmark::State& state) {
+  GraphApi<MicroData> fl(BenchGraph(), Workers(4));
+  for (auto _ : state) {
+    auto out = fl.EdgeMap(
+        fl.V(), fl.E(), CTrue,
+        [](const MicroData& s, MicroData& d) { d.value += s.value; }, CTrue,
+        [](const MicroData& t, MicroData& d) { d.value += t.value; });
+    benchmark::DoNotOptimize(out.TotalSize());
+  }
+  state.SetItemsProcessed(state.iterations() * fl.NumEdges());
+}
+BENCHMARK(BM_AdaptiveEdgeMap);
+
+void BM_SubsetUnion(benchmark::State& state) {
+  GraphApi<MicroData> fl(BenchGraph(), Workers(4));
+  VertexSubset even = fl.VertexMap(
+      fl.V(), [](const MicroData&, VertexId id) { return id % 2 == 0; });
+  VertexSubset third = fl.VertexMap(
+      fl.V(), [](const MicroData&, VertexId id) { return id % 3 == 0; });
+  for (auto _ : state) {
+    auto u = fl.Union(even, third);
+    benchmark::DoNotOptimize(u.TotalSize());
+  }
+  state.SetItemsProcessed(state.iterations() * fl.NumVertices());
+}
+BENCHMARK(BM_SubsetUnion);
+
+void BM_DenseBitmap(benchmark::State& state) {
+  GraphApi<MicroData> fl(BenchGraph(), Workers(4));
+  for (auto _ : state) {
+    VertexSubset even = fl.VertexMap(
+        fl.V(), [](const MicroData&, VertexId id) { return id % 2 == 0; });
+    benchmark::DoNotOptimize(even.EnsureDense(fl.NumVertices()).Count());
+  }
+}
+BENCHMARK(BM_DenseBitmap);
+
+void BM_Reduce(benchmark::State& state) {
+  GraphApi<MicroData> fl(BenchGraph(), Workers(4));
+  fl.VertexMap(fl.V(), CTrue, [](MicroData& v, VertexId id) { v.value = id; });
+  for (auto _ : state) {
+    uint64_t sum = fl.Reduce<uint64_t>(
+        fl.V(), 0, [](const MicroData& v, VertexId) { return v.value; },
+        [](uint64_t a, uint64_t b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * fl.NumVertices());
+}
+BENCHMARK(BM_Reduce);
+
+struct WideData {
+  uint32_t a = 1;
+  double b = 2;
+  uint64_t c = 3;
+  std::vector<uint32_t> list{1, 2, 3, 4, 5, 6, 7, 8};
+  FLASH_FIELDS(a, b, c, list)
+};
+
+void BM_FieldSerialization(benchmark::State& state) {
+  using Wide = WideData;
+  Wide value;
+  for (auto _ : state) {
+    BufferWriter writer;
+    for (int i = 0; i < 1024; ++i) {
+      SerializeFields(value, AllFieldsMask<Wide>(), writer);
+    }
+    benchmark::DoNotOptimize(writer.size());
+  }
+  state.SetBytesProcessed(state.iterations() * 1024 *
+                          static_cast<int64_t>(FieldsByteSize(
+                              value, AllFieldsMask<Wide>())));
+}
+BENCHMARK(BM_FieldSerialization);
+
+}  // namespace
+}  // namespace flash
+
+BENCHMARK_MAIN();

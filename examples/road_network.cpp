@@ -1,0 +1,63 @@
+// Road-network analysis on the US (road-USA twin) dataset: demonstrates why
+// the optimized CC algorithm with virtual parent-pointer edges matters on
+// large-diameter graphs (the paper's headline expressiveness win), plus the
+// distributed-Kruskal minimum spanning forest and single-source routes.
+//
+//   $ ./examples/road_network [scale]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "algorithms/algorithms.h"
+#include "graph/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace flash;
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+  DatasetInfo dataset = MakeDataset("US", scale, /*weighted=*/true).value();
+  const GraphPtr& graph = dataset.graph;
+  std::printf("dataset %s (%s): %u vertices, %llu edges\n\n",
+              dataset.abbr.c_str(), dataset.name.c_str(),
+              graph->NumVertices(),
+              static_cast<unsigned long long>(graph->NumEdges()));
+
+  RuntimeOptions options;
+  options.num_workers = 4;
+  options.partition = PartitionScheme::kChunk;  // Roads are spatially local.
+
+  // The diameter-bound ISVP algorithm vs the O(log n) optimized one.
+  auto basic = algo::RunCcBasic(graph, options);
+  auto opt = algo::RunCcOpt(graph, options);
+  std::printf("CC-basic (label propagation): %d rounds, %llu supersteps\n",
+              basic.rounds,
+              static_cast<unsigned long long>(basic.metrics.supersteps));
+  std::printf("CC-opt   (star contraction) : %d rounds, %llu supersteps\n",
+              opt.rounds,
+              static_cast<unsigned long long>(opt.metrics.supersteps));
+  std::printf("round reduction: %.1fx — this is the paper's Algorithm 10 "
+              "payoff on road networks\n\n",
+              basic.rounds / std::max(1.0, static_cast<double>(opt.rounds)));
+
+  // Minimum-cost road maintenance plan: MSF via distributed Kruskal.
+  auto msf = algo::RunMsf(graph, options);
+  std::printf("minimum spanning forest: %zu edges, total weight %.2f\n",
+              msf.edges.size(), msf.total_weight);
+
+  // Shortest routes from a depot at the grid centre.
+  VertexId depot = graph->NumVertices() / 2;
+  auto sssp = algo::RunSssp(graph, depot, options);
+  double reachable = 0, farthest = 0;
+  for (float d : sssp.distance) {
+    if (d < std::numeric_limits<float>::infinity()) {
+      reachable += 1;
+      farthest = std::max(farthest, static_cast<double>(d));
+    }
+  }
+  std::printf("routes from depot %u: %.0f reachable vertices, farthest cost "
+              "%.2f, %d relaxation rounds\n",
+              depot, reachable, farthest, sssp.rounds);
+  return 0;
+}

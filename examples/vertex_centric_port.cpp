@@ -1,0 +1,118 @@
+// Appendix A of the paper: FLASH can simulate the traditional vertex-centric
+// (Pregel-like) model, so existing vertex-centric programs port directly.
+// This example implements the generic simulation (Algorithm 8) — a
+// VERTEXMAP that runs the user's compute() over the inbox and an EDGEMAP
+// that moves outbox messages into the target inboxes — and instantiates it
+// with the classic SSSP compute function. The result is compared against
+// both the native FLASH SSSP and the Pregel baseline.
+//
+//   $ ./examples/vertex_centric_port
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "algorithms/algorithms.h"
+#include "baselines/pregel/algorithms.h"
+#include "core/api.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace flash;
+
+constexpr float kInfF = std::numeric_limits<float>::infinity();
+
+/// Vertex state for the simulated vertex-centric runtime: the user value
+/// plus inbox/outbox, exactly as Algorithm 8 prescribes.
+struct VcData {
+  float value = kInfF;
+  std::vector<float> inbox;
+  std::vector<float> outbox;  // One entry per out-neighbour slot.
+  FLASH_FIELDS(value, inbox, outbox)
+};
+
+/// The ported vertex-centric SSSP compute(): consume the inbox, update the
+/// value, produce one outbox message per neighbour when improved.
+void Compute(VcData& v, VertexId id, VertexId root, const Graph& graph) {
+  float best = (id == root && v.value == kInfF) ? 0.0f : v.value;
+  for (float m : v.inbox) best = std::min(best, m);
+  v.outbox.clear();
+  if (best < v.value || (id == root && v.value == kInfF)) {
+    v.value = best;
+    auto nbrs = graph.OutNeighbors(id);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      float w = graph.is_weighted() ? graph.OutWeights(id)[i] : 1.0f;
+      v.outbox.push_back(best + w);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto graph = GenerateErdosRenyi(2000, 12000, /*symmetrize=*/true,
+                                  /*seed=*/17, /*weighted=*/true)
+                   .value();
+  const VertexId root = 0;
+  RuntimeOptions options;
+  options.num_workers = 4;
+
+  // --- Algorithm 8: the vertex-centric simulation loop in FLASH ----------
+  GraphApi<VcData> fl(graph, options);
+  fl.VertexMap(fl.V(), CTrue, [&](VcData& v, VertexId id) {
+    Compute(v, id, root, fl.graph());  // Superstep 0 on every vertex.
+  });
+  VertexSubset active = fl.VertexMap(
+      fl.V(), [](const VcData& v) { return !v.outbox.empty(); });
+  int supersteps = 0;
+  while (fl.Size(active) != 0) {
+    // EDGEMAP: move outbox[i] of the source into the inbox of neighbour i.
+    active = fl.EdgeMap(
+        active, fl.E(), CTrue,
+        [&](const VcData& s, VcData& d, VertexId sid, VertexId did) {
+          auto nbrs = fl.graph().OutNeighbors(sid);
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            if (nbrs[i] == did && i < s.outbox.size()) {
+              d.inbox.push_back(s.outbox[i]);
+            }
+          }
+        },
+        CTrue,
+        [](const VcData& t, VcData& d) {
+          d.inbox.insert(d.inbox.end(), t.inbox.begin(), t.inbox.end());
+        });
+    // VERTEXMAP: run compute() over the inbox, refill the outbox.
+    active = fl.VertexMap(active, CTrue, [&](VcData& v, VertexId id) {
+      Compute(v, id, root, fl.graph());
+      v.inbox.clear();
+    });
+    active = fl.VertexMap(active,
+                          [](const VcData& v) { return !v.outbox.empty(); });
+    ++supersteps;
+  }
+  std::printf("simulated vertex-centric SSSP finished in %d supersteps\n",
+              supersteps);
+
+  // --- Cross-check against native FLASH SSSP and the Pregel baseline -----
+  auto native = algo::RunSssp(graph, root, options);
+  baselines::pregel::PregelRunOptions pregel_options;
+  pregel_options.num_workers = 4;
+  auto pregel = baselines::pregel::Sssp(graph, root, pregel_options);
+
+  auto simulated = fl.ExtractResults<float>(
+      [](const VcData& v, VertexId) { return v.value; });
+  int mismatches = 0;
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    bool same_native = (std::isinf(simulated[v]) && std::isinf(native.distance[v])) ||
+                       std::fabs(simulated[v] - native.distance[v]) < 1e-4;
+    bool same_pregel = (std::isinf(simulated[v]) && std::isinf(pregel.distance[v])) ||
+                       std::fabs(simulated[v] - pregel.distance[v]) < 1e-4;
+    if (!same_native || !same_pregel) ++mismatches;
+  }
+  std::printf("mismatches vs native FLASH SSSP and Pregel baseline: %d\n",
+              mismatches);
+  std::printf("=> existing vertex-centric programs port to FLASH unchanged "
+              "(paper Appendix A)\n");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Betweenness Centrality (paper Algorithm 3; Brandes' algorithm).
+//
+// Phase 1 walks a BFS frontier forward accumulating shortest-path counts;
+// the recursion records every level's frontier (a capability vertex-centric
+// models lack — they cannot keep a stack of vertexSubsets). Phase 2 unwinds
+// the recursion, propagating dependency scores backwards over reverse(E).
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct BcData {
+  int32_t level = -1;
+  double num = 0;  // Number of shortest paths from the root.
+  double b = 0;    // Dependency score.
+  FLASH_FIELDS(level, num, b)
+};
+
+// LLOC-BEGIN
+void BcRecurse(GraphApi<BcData>& fl, const VertexSubset& frontier,
+               int32_t cur_level) {
+  if (fl.Size(frontier) == 0) return;
+  VertexSubset next = fl.EdgeMap(
+      frontier, fl.E(), CTrue,
+      [](const BcData& s, BcData& d) { d.num += s.num; },
+      [](const BcData& d) { return d.level == -1; },
+      [](const BcData& t, BcData& d) { d.num += t.num; });
+  next = fl.VertexMap(next, CTrue,
+                      [cur_level](BcData& v) { v.level = cur_level; });
+  BcRecurse(fl, next, cur_level + 1);
+  fl.EdgeMap(
+      frontier, fl.ReverseE(),
+      [](const BcData& s, const BcData& d) { return d.level == s.level - 1; },
+      [](const BcData& s, BcData& d) { d.b += d.num / s.num * (1.0 + s.b); },
+      CTrue, [](const BcData& t, BcData& d) { d.b += t.b; });
+}
+// LLOC-END
+}  // namespace
+
+BcResult RunBc(const GraphPtr& graph, VertexId root,
+               const RuntimeOptions& options) {
+  GraphApi<BcData> fl(graph, options);
+  BcResult result;
+  // LLOC-BEGIN
+  fl.VertexMap(fl.V(), CTrue, [&](BcData& v, VertexId id) {
+    if (id == root) {
+      v.level = 0;
+      v.num = 1;
+    } else {
+      v.level = -1;
+      v.num = 0;
+    }
+    v.b = 0;
+  });
+  VertexSubset frontier =
+      fl.VertexMap(fl.V(), [&](const BcData&, VertexId id) { return id == root; });
+  BcRecurse(fl, frontier, 1);
+  // LLOC-END
+  result.num =
+      fl.ExtractResults<double>([](const BcData& v, VertexId) { return v.num; });
+  result.dependency =
+      fl.ExtractResults<double>([](const BcData& v, VertexId) { return v.b; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,106 @@
+// Biconnected Components (paper Algorithm 19, after Slota & Madduri).
+//
+// Builds a BFS tree per component (rooted at the max-degree vertex), then
+// every non-tree edge walks both endpoints up to their LCA, uniting the
+// tree edges on the cycle in a disjoint-set (the paper's pre-defined dsu
+// helpers). Each non-root vertex represents its parent tree edge; vertices
+// whose parent edges share a biconnected component end up with the same
+// label. The ancestor walks read arbitrary vertices (far beyond the
+// neighbourhood), which is why this algorithm needs FLASH's broadcast
+// synchronisation and is inexpressible in neighbourhood-only models.
+
+#include "algorithms/algorithms.h"
+#include "common/dsu.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct BccData {
+  VertexId cid = 0;      // Component representative (max (deg, id)).
+  uint32_t d = 0;        // Degree of that representative.
+  int32_t dis = -1;      // BFS level.
+  VertexId p = kInf32;   // BFS tree parent (kInf32 at roots).
+  FLASH_FIELDS(cid, d, dis, p)
+};
+}  // namespace
+
+BccResult RunBcc(const GraphPtr& graph, const RuntimeOptions& options) {
+  GraphApi<BccData> fl(graph, options);
+  fl.DeclareVirtualEdges();  // LCA walks read arbitrary ancestors.
+  BccResult result;
+  // LLOC-BEGIN
+  auto stronger = [](const BccData& s, const BccData& d) {
+    return s.d > d.d || (s.d == d.d && s.cid > d.cid);
+  };
+  // Component round: everyone learns the (deg, id)-maximal vertex.
+  VertexSubset frontier =
+      fl.VertexMap(fl.V(), CTrue, [&](BccData& v, VertexId id) {
+        v.cid = id;
+        v.d = fl.Deg(id);
+      });
+  while (fl.Size(frontier) != 0) {
+    frontier = fl.EdgeMap(
+        frontier, fl.E(), stronger,
+        [](const BccData& s, BccData& d) { d.cid = s.cid; d.d = s.d; }, CTrue,
+        [&](const BccData& t, BccData& d) {
+          if (stronger(t, d)) {
+            d.cid = t.cid;
+            d.d = t.d;
+          }
+        });
+  }
+  // BFS round from the roots, then parent assignment.
+  frontier = fl.VertexMap(
+      fl.V(), [](const BccData& v, VertexId id) { return v.cid == id; },
+      [](BccData& v) { v.dis = 0; });
+  while (fl.Size(frontier) != 0) {
+    frontier = fl.EdgeMap(
+        frontier, fl.E(), CTrue,
+        [](const BccData& s, BccData& d) { d.dis = s.dis + 1; },
+        [](const BccData& v) { return v.dis == -1; },
+        [](const BccData& t, BccData& d) { d = t; });
+  }
+  fl.EdgeMap(
+      fl.V(), fl.E(),
+      [](const BccData& s, const BccData& d) { return s.dis == d.dis - 1; },
+      [](const BccData&, BccData& d, VertexId sid, VertexId) { d.p = sid; },
+      [](const BccData& v) { return v.p == kInf32 && v.dis > 0; },
+      [](const BccData& t, BccData& d) { d = t; });
+  // JoinEdges: every non-tree edge unites the tree edges on its cycle.
+  struct UnionPair {
+    VertexId a, b;
+  };
+  std::vector<std::vector<UnionPair>> unions(fl.options().num_workers);
+  fl.ForEachWorker([&](int w) {
+    for (VertexId u : fl.partition().OwnedVertices(w)) {
+      for (VertexId v : fl.graph().OutNeighbors(u)) {
+        if (u <= v) continue;  // Each undirected edge once.
+        if (fl.Read(u).p == v || fl.Read(v).p == u) continue;  // Tree edge.
+        VertexId a = u, b = v, prev = kInf32;
+        while (a != b) {
+          if (fl.Read(a).dis < fl.Read(b).dis) std::swap(a, b);
+          if (prev != kInf32) unions[w].push_back(UnionPair{prev, a});
+          prev = a;
+          a = fl.Read(a).p;
+        }
+      }
+    }
+  });
+  auto pairs = fl.AllGather(unions);
+  Dsu dsu(fl.NumVertices());
+  for (const UnionPair& e : pairs) dsu.Union(e.a, e.b);
+  // LLOC-END
+  result.label.assign(fl.NumVertices(), kInf32);
+  auto states = fl.GatherMasters();
+  for (VertexId v = 0; v < fl.NumVertices(); ++v) {
+    if (states[v].p != kInf32) result.label[v] = dsu.Find(v);
+  }
+  for (VertexId v = 0; v < fl.NumVertices(); ++v) {
+    if (result.label[v] != kInf32 && dsu.Find(v) == v) ++result.num_bcc;
+  }
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

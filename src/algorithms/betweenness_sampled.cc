@@ -1,0 +1,69 @@
+// Sampled (approximate) betweenness centrality.
+//
+// Brandes passes from a set of sample sources, accumulated into one score
+// per vertex — the standard estimator for full betweenness, and the
+// workload where the paper stresses that tracking every level's frontier
+// (a stack of vertexSubsets) is exactly what vertex-centric models lack.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct AbcData {
+  int32_t level = -1;
+  double num = 0;
+  double b = 0;
+  double total = 0;  // Accumulated over sources (never shipped: see mask).
+  FLASH_FIELDS(level, num, b, total)
+};
+
+void Recurse(GraphApi<AbcData>& fl, const VertexSubset& frontier,
+             int32_t cur_level) {
+  if (fl.Size(frontier) == 0) return;
+  VertexSubset next = fl.EdgeMap(
+      frontier, fl.E(), CTrue,
+      [](const AbcData& s, AbcData& d) { d.num += s.num; },
+      [](const AbcData& d) { return d.level == -1; },
+      [](const AbcData& t, AbcData& d) { d.num += t.num; });
+  next = fl.VertexMap(next, CTrue,
+                      [cur_level](AbcData& v) { v.level = cur_level; });
+  Recurse(fl, next, cur_level + 1);
+  fl.EdgeMap(
+      frontier, fl.ReverseE(),
+      [](const AbcData& s, const AbcData& d) { return d.level == s.level - 1; },
+      [](const AbcData& s, AbcData& d) { d.b += d.num / s.num * (1.0 + s.b); },
+      CTrue, [](const AbcData& t, AbcData& d) { d.b += t.b; });
+}
+}  // namespace
+
+BetweennessResult RunApproxBetweenness(const GraphPtr& graph,
+                                       const std::vector<VertexId>& sources,
+                                       const RuntimeOptions& options) {
+  GraphApi<AbcData> fl(graph, options);
+  // Table II: `total` is only read/written by VERTEXMAP on its master.
+  fl.SetCriticalFields({0, 1, 2});
+  BetweennessResult result;
+  // LLOC-BEGIN
+  fl.VertexMap(fl.V(), CTrue, [](AbcData& v) { v.total = 0; });
+  for (VertexId root : sources) {
+    fl.VertexMap(fl.V(), CTrue, [&](AbcData& v, VertexId id) {
+      v.level = (id == root) ? 0 : -1;
+      v.num = (id == root) ? 1 : 0;
+      v.b = 0;
+    });
+    VertexSubset frontier = fl.VertexMap(
+        fl.V(), [&](const AbcData&, VertexId id) { return id == root; });
+    Recurse(fl, frontier, 1);
+    fl.VertexMap(fl.V(), [](const AbcData& v) { return v.b != 0; },
+                 [](AbcData& v) { v.total += v.b; });
+  }
+  // LLOC-END
+  result.score = fl.ExtractResults<double>(
+      [](const AbcData& v, VertexId) { return v.total; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,43 @@
+// Breadth-First Search in FLASH (paper Algorithm 2).
+//
+// Frontier-based BFS: each superstep the EDGEMAP relaxes the out-edges of
+// the frontier onto unvisited vertices (COND prunes visited targets); the
+// reduce keeps any one update since all same-superstep distances are equal.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct BfsData {
+  uint32_t dis = kInf32;
+  FLASH_FIELDS(dis)
+};
+}  // namespace
+
+BfsResult RunBfs(const GraphPtr& graph, VertexId root,
+                 const RuntimeOptions& options) {
+  GraphApi<BfsData> fl(graph, options);
+  BfsResult result;
+  // LLOC-BEGIN
+  auto init = [&](BfsData& v, VertexId id) { v.dis = (id == root) ? 0 : kInf32; };
+  auto filter = [&](const BfsData&, VertexId id) { return id == root; };
+  auto update = [](const BfsData& s, BfsData& d) { d.dis = s.dis + 1; };
+  auto cond = [](const BfsData& v) { return v.dis == kInf32; };
+  auto reduce = [](const BfsData& t, BfsData& d) { d = t; };
+
+  fl.VertexMap(fl.V(), CTrue, init);
+  VertexSubset frontier = fl.VertexMap(fl.V(), filter);
+  while (fl.Size(frontier) != 0) {
+    frontier = fl.EdgeMap(frontier, fl.E(), CTrue, update, cond, reduce);
+    ++result.rounds;
+  }
+  // LLOC-END
+  result.distance = fl.ExtractResults<uint32_t>(
+      [](const BfsData& v, VertexId) { return v.dis; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,65 @@
+// Diameter estimation by double sweep.
+//
+// BFS from a seed, take the farthest vertex a; BFS from a, take the
+// farthest vertex b: dist(a, b) is a lower bound on the diameter, exact on
+// trees and very tight on road networks. Composes the BFS building block
+// with global argmax reductions.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct DiamData {
+  uint32_t dis = kInf32;
+  FLASH_FIELDS(dis)
+};
+
+struct Farthest {
+  uint32_t dis = 0;
+  VertexId v = 0;
+};
+
+/// BFS from `root`; returns the farthest reached vertex and its distance.
+Farthest Sweep(GraphApi<DiamData>& fl, VertexId root) {
+  fl.VertexMap(fl.V(), CTrue, [&](DiamData& v, VertexId id) {
+    v.dis = (id == root) ? 0 : kInf32;
+  });
+  VertexSubset frontier =
+      fl.VertexMap(fl.V(), [&](const DiamData&, VertexId id) { return id == root; });
+  while (fl.Size(frontier) != 0) {
+    frontier = fl.EdgeMap(
+        frontier, fl.E(), CTrue,
+        [](const DiamData& s, DiamData& d) { d.dis = s.dis + 1; },
+        [](const DiamData& d) { return d.dis == kInf32; },
+        [](const DiamData& t, DiamData& d) { d = t; });
+  }
+  return fl.Reduce<Farthest>(
+      fl.V(), Farthest{0, root},
+      [](const DiamData& v, VertexId id) {
+        return Farthest{v.dis == kInf32 ? 0 : v.dis, id};
+      },
+      [](Farthest a, Farthest b) {
+        if (a.dis != b.dis) return a.dis > b.dis ? a : b;
+        return a.v < b.v ? a : b;  // Deterministic tie-break.
+      });
+}
+}  // namespace
+
+DiameterResult RunDiameterEstimate(const GraphPtr& graph, VertexId seed,
+                                   const RuntimeOptions& options) {
+  GraphApi<DiamData> fl(graph, options);
+  DiameterResult result;
+  // LLOC-BEGIN
+  Farthest a = Sweep(fl, seed);
+  Farthest b = Sweep(fl, a.v);
+  result.periphery_a = a.v;
+  result.periphery_b = b.v;
+  result.lower_bound = b.dis;
+  // LLOC-END
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

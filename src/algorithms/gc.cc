@@ -1,0 +1,90 @@
+// Graph Coloring (paper Algorithm 15).
+//
+// Greedy BSP colouring by (degree, id) priority: every vertex takes the
+// smallest colour unused by its higher-priority neighbours; converges when
+// no vertex changes. Each vertex caches its higher neighbours' colours, so
+// after the first sweep only *changed* colours travel — frontier-
+// proportional work, expressible thanks to the vertexSubset type and the
+// non-neighbourhood-limited reduce.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct SeenEntry {
+  VertexId id;     // Higher-priority neighbour...
+  uint32_t color;  // ...and its last announced colour.
+};
+
+struct GcData {
+  uint32_t c = 0;               // Committed colour.
+  uint32_t cc = 0;              // Candidate colour.
+  std::vector<SeenEntry> seen;  // Colour cache of higher neighbours.
+  FLASH_FIELDS(c, cc, seen)
+};
+
+void Upsert(std::vector<SeenEntry>& seen, const SeenEntry& entry) {
+  for (SeenEntry& e : seen) {
+    if (e.id == entry.id) {
+      e.color = entry.color;
+      return;
+    }
+  }
+  seen.push_back(entry);
+}
+}  // namespace
+
+GcResult RunGraphColoring(const GraphPtr& graph,
+                          const RuntimeOptions& options) {
+  GraphApi<GcData> fl(graph, options);
+  GcResult result;
+  // LLOC-BEGIN
+  auto higher = [&](const GcData&, const GcData&, VertexId sid, VertexId did) {
+    uint32_t sd = fl.Deg(sid), dd = fl.Deg(did);
+    return sd > dd || (sd == dd && sid > did);
+  };
+  // Push my (possibly new) colour to lower-priority neighbours: the
+  // message is a single cache entry, merged by upsert at the target.
+  auto announce = [](const GcData& s, GcData& d, VertexId sid, VertexId) {
+    d.seen.assign(1, SeenEntry{sid, s.c});
+  };
+  auto absorb = [](const GcData& t, GcData& d) {
+    for (const SeenEntry& e : t.seen) Upsert(d.seen, e);
+  };
+  VertexSubset changed = fl.VertexMap(fl.V(), CTrue, [](GcData& v) {
+    v.c = 0;
+    v.cc = 0;
+    v.seen.clear();
+  });
+  while (fl.Size(changed) != 0) {
+    VertexSubset affected =
+        fl.EdgeMapSparse(changed, fl.E(), higher, announce, CTrue, absorb);
+    // Recompute the smallest colour unused by the cached higher neighbours.
+    fl.VertexMap(affected, CTrue, [](GcData& v) {
+      std::vector<uint32_t> used;
+      for (const SeenEntry& e : v.seen) used.push_back(e.color);
+      std::sort(used.begin(), used.end());
+      v.cc = 0;
+      for (uint32_t color : used) {
+        if (color == v.cc) {
+          ++v.cc;
+        } else if (color > v.cc) {
+          break;
+        }
+      }
+    });
+    changed = fl.VertexMap(affected,
+                           [](const GcData& v) { return v.c != v.cc; },
+                           [](GcData& v) { v.c = v.cc; });
+    ++result.rounds;
+  }
+  // LLOC-END
+  result.color = fl.ExtractResults<uint32_t>(
+      [](const GcData& v, VertexId) { return v.c; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,41 @@
+// Harmonic centrality, estimated from a sample of sources (Boldi & Vigna).
+//
+// Composes the 64-way multi-source BFS: each batch advances 64 sources in
+// one pass, so k samples cost ceil(k/64) traversals instead of k. With
+// sources = all vertices the estimate is exact (times n/(n-1) scaling
+// conventions aside).
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+CentralityResult RunHarmonicCentrality(const GraphPtr& graph,
+                                       const std::vector<VertexId>& sources,
+                                       const RuntimeOptions& options) {
+  CentralityResult result;
+  result.harmonic.assign(graph->NumVertices(), 0.0);
+  // LLOC-BEGIN
+  for (size_t begin = 0; begin < sources.size(); begin += 64) {
+    size_t end = std::min(begin + 64, sources.size());
+    std::vector<VertexId> batch(sources.begin() + begin,
+                                sources.begin() + end);
+    MsBfsResult pass = RunMultiSourceBfs(graph, batch, options);
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      result.harmonic[v] += pass.harmonic[v];
+    }
+    // Fold the batch's communication/work into the run total.
+    result.metrics.supersteps += pass.metrics.supersteps;
+    result.metrics.edges_scanned += pass.metrics.edges_scanned;
+    result.metrics.vertices_updated += pass.metrics.vertices_updated;
+    result.metrics.messages += pass.metrics.messages;
+    result.metrics.bytes += pass.metrics.bytes;
+    result.metrics.compute_seconds += pass.metrics.compute_seconds;
+    result.metrics.comm_seconds += pass.metrics.comm_seconds;
+    result.metrics.serialize_seconds += pass.metrics.serialize_seconds;
+  }
+  // LLOC-END
+  return result;
+}
+
+}  // namespace flash::algo

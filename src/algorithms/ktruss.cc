@@ -1,0 +1,94 @@
+// K-Truss: the maximal subgraph in which every edge participates in at
+// least k-2 triangles *within* the subgraph.
+//
+// Synchronous support peeling: every vertex holds its surviving sorted
+// adjacency, replicated via broadcast synchronisation (the algorithm reads
+// arbitrary second endpoints through FLASHWARE's get()). Each round, every
+// endpoint evaluates the support of its incident edges against the
+// replicated state; support is a symmetric function of consistent data, so
+// both endpoints of a doomed edge reach the same verdict independently and
+// prune it locally — removal needs no messages at all, only the barrier's
+// state sync. Edge-centric peeling like this has no natural expression in
+// neighbourhood-only vertex-centric models.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+#include "core/set_ops.h"
+
+namespace flash::algo {
+
+namespace {
+struct TrussData {
+  std::vector<VertexId> adj;     // Surviving neighbours, sorted.
+  std::vector<VertexId> doomed;  // Edges to prune this round.
+  FLASH_FIELDS(adj, doomed)
+};
+}  // namespace
+
+KTrussResult RunKTruss(const GraphPtr& graph, uint32_t k,
+                       const RuntimeOptions& options) {
+  GraphApi<TrussData> fl(graph, options);
+  fl.DeclareVirtualEdges();  // Support evaluation reads arbitrary vertices.
+  // Table II: `doomed` never leaves its master (computed and consumed by
+  // consecutive VERTEXMAPs); only `adj` must stay consistent everywhere.
+  fl.SetCriticalFields({0});
+  KTrussResult result;
+  if (k < 2) k = 2;
+  // LLOC-BEGIN
+  fl.VertexMap(fl.V(), CTrue, [&](TrussData& v, VertexId id) {
+    auto nbrs = fl.graph().OutNeighbors(id);
+    v.adj.assign(nbrs.begin(), nbrs.end());
+    v.doomed.clear();
+  });
+  while (true) {
+    // Phase 1: judge every surviving incident edge against the support
+    // threshold, reading both endpoints' replicated adjacency.
+    VertexSubset doomed_owners = fl.VertexMap(
+        fl.V(),
+        [&](const TrussData& v) { return !v.adj.empty(); },
+        [&](TrussData& v, VertexId id) {
+          v.doomed.clear();
+          for (VertexId u : v.adj) {
+            uint64_t support = SortedIntersectSize(v.adj, fl.Read(u).adj);
+            if (support < k - 2) v.doomed.push_back(u);
+          }
+          (void)id;
+        });
+    uint64_t doomed_count = fl.Reduce<uint64_t>(
+        doomed_owners, 0,
+        [](const TrussData& v, VertexId) {
+          return static_cast<uint64_t>(v.doomed.size());
+        },
+        [](uint64_t a, uint64_t b) { return a + b; });
+    if (doomed_count == 0) break;
+    // Phase 2: prune. The other endpoint prunes the same edge in its own
+    // phase 2 because its phase 1 computed the identical support.
+    fl.VertexMap(doomed_owners,
+                 [](const TrussData& v) { return !v.doomed.empty(); },
+                 [](TrussData& v) {
+                   std::vector<VertexId> kept;
+                   kept.reserve(v.adj.size() - v.doomed.size());
+                   std::set_difference(v.adj.begin(), v.adj.end(),
+                                       v.doomed.begin(), v.doomed.end(),
+                                       std::back_inserter(kept));
+                   v.adj = std::move(kept);
+                 });
+    ++result.rounds;
+  }
+  result.edges_remaining =
+      fl.Reduce<uint64_t>(
+          fl.V(), 0,
+          [](const TrussData& v, VertexId) {
+            return static_cast<uint64_t>(v.adj.size());
+          },
+          [](uint64_t a, uint64_t b) { return a + b; }) /
+      2;
+  // LLOC-END
+  auto states = fl.GatherMasters();
+  result.adjacency.reserve(states.size());
+  for (auto& state : states) result.adjacency.push_back(std::move(state.adj));
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,63 @@
+// Label Propagation (paper Algorithm 20).
+//
+// Community detection: every vertex repeatedly adopts the most frequent
+// label among its neighbours (ties -> smallest label) for a fixed number of
+// rounds. Needs variable-length per-vertex state (the multiset of
+// neighbour labels), which fixed-length frameworks such as Gemini cannot
+// express.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct LpaData {
+  VertexId c = 0;               // Committed label.
+  VertexId cc = 0;              // Candidate label.
+  std::vector<VertexId> set;    // Labels received this round.
+  FLASH_FIELDS(c, cc, set)
+};
+}  // namespace
+
+LpaResult RunLpa(const GraphPtr& graph, int iterations,
+                 const RuntimeOptions& options) {
+  GraphApi<LpaData> fl(graph, options);
+  LpaResult result;
+  // LLOC-BEGIN
+  fl.VertexMap(fl.V(), CTrue, [](LpaData& v, VertexId id) {
+    v.c = id;
+    v.set.clear();
+  });
+  for (int iter = 0; iter < iterations; ++iter) {
+    fl.EdgeMap(
+        fl.V(), fl.E(), CTrue,
+        [](const LpaData& s, LpaData& d) { d.set.push_back(s.c); }, CTrue,
+        [](const LpaData& t, LpaData& d) {
+          d.set.insert(d.set.end(), t.set.begin(), t.set.end());
+        });
+    fl.VertexMap(fl.V(), CTrue, [](LpaData& v) {
+      std::sort(v.set.begin(), v.set.end());
+      v.cc = v.c;
+      uint32_t best = 0;
+      for (size_t i = 0; i < v.set.size();) {
+        size_t j = i;
+        while (j < v.set.size() && v.set[j] == v.set[i]) ++j;
+        if (j - i > best) {
+          best = static_cast<uint32_t>(j - i);
+          v.cc = v.set[i];
+        }
+        i = j;
+      }
+      v.c = v.cc;
+      v.set.clear();
+    });
+  }
+  // LLOC-END
+  result.label = fl.ExtractResults<VertexId>(
+      [](const LpaData& v, VertexId) { return v.c; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,57 @@
+// Maximal Independent Set (paper Algorithm 13; Luby's algorithm).
+//
+// Each round, every still-active vertex enters the set unless an active
+// neighbour has a smaller priority r = deg * |V| + id; chosen vertices then
+// knock their neighbours out. The paper notes GPS is the only prior system
+// with a distributed MIS — in FLASH it is a dozen lines.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct MisData {
+  uint64_t r = 0;     // Priority: smaller wins.
+  uint8_t out = 0;    // Knocked out (a neighbour is in the set).
+  uint8_t best = 1;   // No smaller-priority active neighbour this round.
+  uint8_t in_set = 0;
+  FLASH_FIELDS(r, out, best, in_set)
+};
+}  // namespace
+
+MisResult RunMis(const GraphPtr& graph, const RuntimeOptions& options) {
+  GraphApi<MisData> fl(graph, options);
+  MisResult result;
+  const uint64_t n = graph->NumVertices();
+  // LLOC-BEGIN
+  VertexSubset active = fl.VertexMap(fl.V(), CTrue, [&](MisData& v, VertexId id) {
+    v.r = static_cast<uint64_t>(fl.Deg(id)) * n + id;
+  });
+  while (fl.Size(active) != 0) {
+    // A vertex stays `best` unless some active neighbour has smaller r.
+    fl.VertexMap(active, CTrue, [](MisData& v) { v.best = 1; });
+    fl.EdgeMap(
+        active, fl.Join(fl.E(), active),
+        [](const MisData& s, const MisData& d) { return s.r < d.r; },
+        [](const MisData&, MisData& d) { d.best = 0; },
+        [](const MisData& d) { return d.best != 0; },
+        [](const MisData&, MisData& d) { d.best = 0; });
+    VertexSubset chosen =
+        fl.VertexMap(active, [](const MisData& v) { return v.best != 0; },
+                     [](MisData& v) { v.in_set = 1; });
+    VertexSubset knocked = fl.EdgeMapSparse(
+        chosen, fl.E(), CTrue, [](const MisData&, MisData& d) { d.out = 1; },
+        [](const MisData& d) { return !d.out && !d.in_set; },
+        [](const MisData&, MisData& d) { d.out = 1; });
+    active = fl.Minus(fl.Minus(active, chosen), knocked);
+    ++result.rounds;
+  }
+  // LLOC-END
+  result.in_set = fl.ExtractResults<bool>(
+      [](const MisData& v, VertexId) { return v.in_set != 0; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,63 @@
+// Maximal Matching, basic greedy (paper Algorithm 11).
+//
+// Every round each unmatched vertex proposes to its largest unmatched
+// neighbour (tie-breaking by id); mutual proposals become matches. Repeats
+// until no proposals can be delivered.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct MmData {
+  int64_t s = -1;  // Matched partner, -1 if unmatched.
+  int64_t p = -1;  // Current proposal target.
+  FLASH_FIELDS(s, p)
+};
+}  // namespace
+
+MmResult RunMmBasic(const GraphPtr& graph, const RuntimeOptions& options) {
+  GraphApi<MmData> fl(graph, options);
+  MmResult result;
+  // LLOC-BEGIN
+  auto unmatched = [](const MmData& v) { return v.s == -1; };
+  fl.VertexMap(fl.V(), CTrue, [](MmData& v) { v.s = -1; v.p = -1; });
+  while (true) {
+    // The basic greedy re-processes *every* unmatched vertex each round —
+    // the inefficiency Fig. 4(a) quantifies against MM-opt.
+    VertexSubset frontier =
+        fl.VertexMap(fl.V(), unmatched, [](MmData& v) { v.p = -1; });
+    result.active_per_round.push_back(frontier.TotalSize());
+    // Propose: unmatched vertices bid for unmatched neighbours; the largest
+    // bidder id wins.
+    VertexSubset receivers = fl.EdgeMap(
+        frontier, fl.E(), CTrue,
+        [](const MmData&, MmData& d, VertexId sid, VertexId) {
+          d.p = std::max<int64_t>(d.p, sid);
+        },
+        unmatched,
+        [](const MmData& t, MmData& d) { d.p = std::max(d.p, t.p); });
+    // Match mutual proposals.
+    VertexSubset matched = fl.EdgeMap(
+        receivers, fl.E(),
+        [](const MmData& s, const MmData& d, VertexId sid, VertexId did) {
+          return s.p == static_cast<int64_t>(did) &&
+                 d.p == static_cast<int64_t>(sid);
+        },
+        [](const MmData&, MmData& d, VertexId sid, VertexId) { d.s = sid; },
+        unmatched, [](const MmData& t, MmData& d) { d = t; });
+    ++result.rounds;
+    // No new matches => no future round can match anything (greedy is
+    // deterministic): the matching is maximal.
+    if (fl.Size(matched) == 0) break;
+  }
+  // LLOC-END
+  result.match = fl.ExtractResults<VertexId>([](const MmData& v, VertexId) {
+    return v.s == -1 ? kInvalidVertex : static_cast<VertexId>(v.s);
+  });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

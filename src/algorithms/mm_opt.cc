@@ -1,0 +1,83 @@
+// Maximal Matching, optimized (paper Algorithm 12).
+//
+// Unlike MM-basic, which re-runs the handshake for every unmatched vertex
+// each round, MM-opt re-processes an unmatched vertex only when its
+// temporarily matched partner (best bidder) was matched away in the last
+// round. The notifications travel along virtual edge sets join(U, p) —
+// edges to the *bidder* — which other frameworks cannot express; the paper
+// reports a 70x frontier reduction on TW (Fig. 4a).
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct MmData {
+  int64_t s = -1;  // Matched partner, -1 if unmatched.
+  int64_t p = -1;  // Best bidder seen at the last refresh.
+  FLASH_FIELDS(s, p)
+};
+}  // namespace
+
+MmResult RunMmOpt(const GraphPtr& graph, const RuntimeOptions& options) {
+  GraphApi<MmData> fl(graph, options);
+  fl.DeclareVirtualEdges();  // join(U, p) targets arbitrary bidders.
+  MmResult result;
+  // LLOC-BEGIN
+  auto unmatched = [](const MmData& v) { return v.s == -1; };
+  auto mutual = [](const MmData& s, const MmData& d, VertexId sid, VertexId) {
+    (void)s;
+    return d.p == static_cast<int64_t>(sid);
+  };
+  auto take = [](const MmData&, MmData& d, VertexId sid, VertexId) {
+    d.s = sid;
+  };
+  auto keep = [](const MmData& t, MmData& d) { d = t; };
+  auto to_bidder = fl.OutFn([](const MmData& s, VertexId, const auto& emit) {
+    if (s.p >= 0) emit(static_cast<VertexId>(s.p), 1.0f);
+  });
+
+  VertexSubset frontier =
+      fl.VertexMap(fl.V(), CTrue, [](MmData& v) { v.s = -1; v.p = -1; });
+  while (true) {
+    if (fl.Size(frontier) == 0) {
+      // Safety net for stale-bidder deadlocks: re-seed with unmatched
+      // vertices that still have an unmatched neighbour; empty <=> maximal.
+      frontier = fl.EdgeMapSparse(
+          fl.VertexMap(fl.V(), unmatched), fl.E(), CTrue,
+          [](const MmData&, MmData&) {}, unmatched,
+          [](const MmData&, MmData&) {});
+      if (fl.Size(frontier) == 0) break;
+    }
+    frontier = fl.VertexMap(frontier, unmatched, [](MmData& v) { v.p = -1; });
+    result.active_per_round.push_back(frontier.TotalSize());
+    // Fresh bids, but only towards vertices that need re-processing.
+    fl.EdgeMapDense(
+        fl.V(), fl.Join(fl.E(), frontier),
+        [](const MmData& s, const MmData&) { return s.s == -1; },
+        [](const MmData&, MmData& d, VertexId sid, VertexId) {
+          d.p = std::max<int64_t>(d.p, sid);
+        },
+        unmatched);
+    // Handshake: u asks its best bidder; mutual-best pairs match (A), then
+    // confirm back along the bidder pointer (B).
+    VertexSubset a =
+        fl.EdgeMapSparse(frontier, to_bidder, mutual, take, unmatched, keep);
+    VertexSubset b =
+        fl.EdgeMapSparse(a, to_bidder, mutual, take, unmatched, keep);
+    // Vertices whose best bidder was just matched away must re-propose.
+    frontier = fl.EdgeMapSparse(
+        fl.Union(a, b), fl.E(), mutual, [](const MmData&, MmData&) {},
+        unmatched, [](const MmData&, MmData&) {});
+    ++result.rounds;
+  }
+  // LLOC-END
+  result.match = fl.ExtractResults<VertexId>([](const MmData& v, VertexId) {
+    return v.s == -1 ? kInvalidVertex : static_cast<VertexId>(v.s);
+  });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,77 @@
+// Multi-Source BFS with bitmask frontiers.
+//
+// Traverses from up to 64 sources simultaneously: each vertex keeps a
+// 64-bit visited mask and a per-round frontier mask; one EDGEMAP sweep per
+// level advances every source's wavefront at once. The per-level counts
+// feed closeness/harmonic centrality estimation — one graph pass instead
+// of 64.
+
+#include "algorithms/algorithms.h"
+#include "common/logging.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct MsBfsData {
+  uint64_t visited = 0;   // Bit s: reached by source s.
+  uint64_t frontier = 0;  // Bit s: newly reached this round.
+  uint32_t dist_sum = 0;
+  double harmonic = 0;
+  FLASH_FIELDS(visited, frontier, dist_sum, harmonic)
+};
+}  // namespace
+
+MsBfsResult RunMultiSourceBfs(const GraphPtr& graph,
+                              const std::vector<VertexId>& sources,
+                              const RuntimeOptions& options) {
+  FLASH_CHECK_LE(sources.size(), 64u) << "at most 64 simultaneous sources";
+  GraphApi<MsBfsData> fl(graph, options);
+  MsBfsResult result;
+  // LLOC-BEGIN
+  fl.VertexMap(fl.V(), CTrue, [](MsBfsData& v) { v = MsBfsData{}; });
+  VertexSubset frontier = fl.None();
+  for (size_t s = 0; s < sources.size(); ++s) frontier.Add(sources[s]);
+  fl.VertexMap(frontier, CTrue, [&](MsBfsData& v, VertexId id) {
+    for (size_t s = 0; s < sources.size(); ++s) {
+      if (sources[s] == id) {
+        v.visited |= uint64_t{1} << s;
+        v.frontier |= uint64_t{1} << s;
+      }
+    }
+  });
+  for (uint32_t level = 1; fl.Size(frontier) != 0; ++level) {
+    frontier = fl.EdgeMap(
+        frontier, fl.E(),
+        [](const MsBfsData& s, const MsBfsData& d) {
+          return (s.frontier & ~d.visited) != 0;
+        },
+        [](const MsBfsData& s, MsBfsData& d) {
+          d.frontier |= s.frontier & ~d.visited;  // Committed below.
+        },
+        CTrue,
+        [](const MsBfsData& t, MsBfsData& d) { d.frontier |= t.frontier; });
+    // Commit the round: count newly reached sources, fold into visited.
+    frontier = fl.VertexMap(
+        frontier,
+        [](const MsBfsData& v) { return (v.frontier & ~v.visited) != 0; },
+        [level](MsBfsData& v) {
+          uint64_t fresh = v.frontier & ~v.visited;
+          int reached = __builtin_popcountll(fresh);
+          v.dist_sum += level * static_cast<uint32_t>(reached);
+          v.harmonic += static_cast<double>(reached) / level;
+          v.visited |= fresh;
+          v.frontier = fresh;
+        });
+    ++result.rounds;
+  }
+  // LLOC-END
+  result.distance_sum = fl.ExtractResults<uint32_t>(
+      [](const MsBfsData& v, VertexId) { return v.dist_sum; });
+  result.harmonic = fl.ExtractResults<double>(
+      [](const MsBfsData& v, VertexId) { return v.harmonic; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,73 @@
+// Minimum Spanning Forest (paper Algorithm 21; distributed Kruskal).
+//
+// Each worker runs Kruskal on its local edges; the surviving edges are
+// gathered with the auxiliary REDUCE operator and a final Kruskal merges
+// them. Correct because an edge outside the MSF of any subgraph is outside
+// the MSF of the whole graph. Uses the pre-defined dsu helpers.
+
+#include <algorithm>
+
+#include "algorithms/algorithms.h"
+#include "common/dsu.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct MsfData {
+  uint8_t unused = 0;  // MSF needs no per-vertex state; edges do the work.
+  FLASH_FIELDS(unused)
+};
+
+struct WEdge {
+  float w;
+  VertexId u, v;
+};
+
+/// Kruskal over `edges`; appends chosen edges to `out`.
+// LLOC-BEGIN
+void Kruskal(VertexId n, std::vector<WEdge>& edges, std::vector<WEdge>& out) {
+  std::sort(edges.begin(), edges.end(), [](const WEdge& a, const WEdge& b) {
+    if (a.w != b.w) return a.w < b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  Dsu dsu(n);
+  for (const WEdge& e : edges) {
+    if (dsu.Union(e.u, e.v)) out.push_back(e);
+  }
+}
+// LLOC-END
+}  // namespace
+
+MsfResult RunMsf(const GraphPtr& graph, const RuntimeOptions& options) {
+  GraphApi<MsfData> fl(graph, options);
+  MsfResult result;
+  // LLOC-BEGIN
+  std::vector<std::vector<WEdge>> local(fl.options().num_workers);
+  fl.ForEachWorker([&](int w) {
+    std::vector<WEdge> mine;
+    for (VertexId u : fl.partition().OwnedVertices(w)) {
+      auto nbrs = fl.graph().OutNeighbors(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (fl.graph().is_symmetric() && nbrs[i] < u) continue;
+        float weight = fl.graph().is_weighted() ? fl.graph().OutWeights(u)[i]
+                                                : 1.0f;
+        mine.push_back(WEdge{weight, u, nbrs[i]});
+      }
+    }
+    Kruskal(fl.NumVertices(), mine, local[w]);
+  });
+  std::vector<WEdge> candidates = fl.AllGather(local);
+  std::vector<WEdge> forest;
+  Kruskal(fl.NumVertices(), candidates, forest);
+  // LLOC-END
+  for (const WEdge& e : forest) {
+    result.edges.push_back(Edge{e.u, e.v, e.w});
+    result.total_weight += e.w;
+  }
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,51 @@
+// PageRank with uniform teleport and dangling-mass redistribution,
+// synchronous iterations (matches reference::PageRank bit-for-bit up to
+// floating-point association).
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct PrData {
+  double rank = 0;
+  double acc = 0;  // Incoming contributions this round.
+  FLASH_FIELDS(rank, acc)
+};
+}  // namespace
+
+PageRankResult RunPageRank(const GraphPtr& graph, int iterations,
+                           const RuntimeOptions& options) {
+  GraphApi<PrData> fl(graph, options);
+  PageRankResult result;
+  const double n = graph->NumVertices();
+  const double damping = 0.85;
+  // LLOC-BEGIN
+  fl.VertexMap(fl.V(), CTrue, [&](PrData& v) { v.rank = 1.0 / n; });
+  for (int iter = 0; iter < iterations; ++iter) {
+    double dangling = fl.Reduce<double>(
+        fl.V(), 0.0,
+        [&](const PrData& v, VertexId id) {
+          return fl.OutDeg(id) == 0 ? v.rank : 0.0;
+        },
+        [](double a, double b) { return a + b; });
+    fl.VertexMap(fl.V(), CTrue, [](PrData& v) { v.acc = 0; });
+    fl.EdgeMapDense(
+        fl.V(), fl.E(), CTrue,
+        [&](const PrData& s, PrData& d, VertexId sid, VertexId) {
+          d.acc += s.rank / fl.OutDeg(sid);
+        },
+        CTrue);
+    fl.VertexMap(fl.V(), CTrue, [&](PrData& v) {
+      v.rank = (1.0 - damping) / n + damping * (dangling / n + v.acc);
+    });
+  }
+  // LLOC-END
+  result.rank = fl.ExtractResults<double>(
+      [](const PrData& v, VertexId) { return v.rank; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,53 @@
+// Personalized PageRank: power iteration whose teleport mass returns to a
+// single seed vertex (random walk with restart). The dangling mass also
+// returns to the seed. Shares the pull-mode structure of global PageRank.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct PprData {
+  double rank = 0;
+  double acc = 0;
+  FLASH_FIELDS(rank, acc)
+};
+}  // namespace
+
+PageRankResult RunPersonalizedPageRank(const GraphPtr& graph, VertexId seed,
+                                       int iterations,
+                                       const RuntimeOptions& options) {
+  GraphApi<PprData> fl(graph, options);
+  PageRankResult result;
+  const double alpha = 0.15;  // Restart probability.
+  // LLOC-BEGIN
+  fl.VertexMap(fl.V(), CTrue, [&](PprData& v, VertexId id) {
+    v.rank = (id == seed) ? 1.0 : 0.0;
+  });
+  for (int iter = 0; iter < iterations; ++iter) {
+    double dangling = fl.Reduce<double>(
+        fl.V(), 0.0,
+        [&](const PprData& v, VertexId id) {
+          return fl.OutDeg(id) == 0 ? v.rank : 0.0;
+        },
+        [](double a, double b) { return a + b; });
+    fl.VertexMap(fl.V(), CTrue, [](PprData& v) { v.acc = 0; });
+    fl.EdgeMapDense(fl.V(), fl.E(), CTrue,
+                    [&](const PprData& s, PprData& d, VertexId sid, VertexId) {
+                      d.acc += s.rank / fl.OutDeg(sid);
+                    },
+                    CTrue);
+    fl.VertexMap(fl.V(), CTrue, [&](PprData& v, VertexId id) {
+      v.rank = (1.0 - alpha) * (v.acc + (id == seed ? dangling : 0.0)) +
+               (id == seed ? alpha : 0.0);
+    });
+  }
+  // LLOC-END
+  result.rank = fl.ExtractResults<double>(
+      [](const PprData& v, VertexId) { return v.rank; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,64 @@
+// Strongly Connected Components (paper Algorithm 18; Orzan's colouring
+// algorithm).
+//
+// Each round: (1) propagate the minimum id forward through the remaining
+// vertices, colouring every vertex with the smallest id that reaches it;
+// (2) colour roots (fid == id) become SCC seeds and claim, backwards over
+// reverse(E), exactly the vertices sharing their colour — those form one
+// SCC per colour. Repeats on the unassigned remainder. Only Pregel+ among
+// the baselines can express this, via a much larger multi-program pipeline.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct SccData {
+  VertexId fid = 0;       // Forward colour (min reaching id).
+  VertexId scc = kInf32;  // Assigned SCC label.
+  FLASH_FIELDS(fid, scc)
+};
+}  // namespace
+
+SccResult RunScc(const GraphPtr& graph, const RuntimeOptions& options) {
+  GraphApi<SccData> fl(graph, options);
+  SccResult result;
+  // LLOC-BEGIN
+  auto unassigned = [](const SccData& v) { return v.scc == kInf32; };
+  VertexSubset active = fl.VertexMap(fl.V(), CTrue,
+                                     [](SccData& v) { v.scc = kInf32; });
+  while (fl.Size(active) != 0) {
+    // Phase 1: forward min-id colouring within the active subgraph.
+    VertexSubset frontier = fl.VertexMap(
+        active, CTrue, [](SccData& v, VertexId id) { v.fid = id; });
+    while (fl.Size(frontier) != 0) {
+      frontier = fl.EdgeMap(
+          frontier, fl.Join(fl.E(), active),
+          [](const SccData& s, const SccData& d) { return s.fid < d.fid; },
+          [](const SccData& s, SccData& d) { d.fid = std::min(d.fid, s.fid); },
+          unassigned,
+          [](const SccData& t, SccData& d) { d.fid = std::min(d.fid, t.fid); });
+    }
+    // Phase 2: each colour root claims its SCC backwards along reverse(E).
+    frontier = fl.VertexMap(
+        active, [](const SccData& v, VertexId id) { return v.fid == id; },
+        [](SccData& v, VertexId id) { v.scc = id; });
+    while (fl.Size(frontier) != 0) {
+      frontier = fl.EdgeMap(
+          frontier, fl.Join(fl.ReverseE(), active),
+          [](const SccData& s, const SccData& d) { return s.scc == d.fid; },
+          [](const SccData& s, SccData& d) { d.scc = s.scc; }, unassigned,
+          [](const SccData& t, SccData& d) { d.scc = t.scc; });
+    }
+    active = fl.VertexMap(active, unassigned);
+    ++result.rounds;
+  }
+  // LLOC-END
+  result.label = fl.ExtractResults<VertexId>(
+      [](const SccData& v, VertexId) { return v.scc; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

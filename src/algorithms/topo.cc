@@ -1,0 +1,54 @@
+// Topological layering and cycle detection (directed graphs).
+//
+// Kahn peeling in rounds: layer k is the set of vertices whose in-degree
+// drops to zero after removing layers 0..k-1; vertices never peeled lie on
+// or behind a directed cycle. The in-degree decrements ride the same
+// push/reduce pattern as k-core peeling.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct TopoData {
+  int64_t indeg = 0;
+  uint32_t layer = kInf32;
+  FLASH_FIELDS(indeg, layer)
+};
+}  // namespace
+
+TopoResult RunTopologicalLayers(const GraphPtr& graph,
+                                const RuntimeOptions& options) {
+  GraphApi<TopoData> fl(graph, options);
+  TopoResult result;
+  // LLOC-BEGIN
+  fl.VertexMap(fl.V(), CTrue, [&](TopoData& v, VertexId id) {
+    v.indeg = fl.InDeg(id);
+    v.layer = kInf32;
+  });
+  uint64_t peeled_total = 0;
+  VertexSubset candidates = fl.V();
+  for (uint32_t layer = 0;; ++layer) {
+    VertexSubset peel = fl.VertexMap(
+        candidates,
+        [](const TopoData& v) { return v.layer == kInf32 && v.indeg == 0; },
+        [layer](TopoData& v) { v.layer = layer; });
+    if (fl.Size(peel) == 0) break;
+    peeled_total += peel.TotalSize();
+    // Removing this layer lowers successors' in-degrees; the newly
+    // zero-degree ones are next round's candidates.
+    candidates = fl.EdgeMap(
+        peel, fl.E(), CTrue, [](const TopoData&, TopoData& d) { d.indeg -= 1; },
+        [](const TopoData& d) { return d.layer == kInf32; },
+        [](const TopoData&, TopoData& d) { d.indeg -= 1; });
+  }
+  result.is_dag = (peeled_total == graph->NumVertices());
+  // LLOC-END
+  result.layer = fl.ExtractResults<uint32_t>(
+      [](const TopoData& v, VertexId) { return v.layer; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

@@ -1,0 +1,90 @@
+#ifndef FLASH_BASELINES_GAS_ALGORITHMS_H_
+#define FLASH_BASELINES_GAS_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "flashware/metrics.h"
+#include "graph/graph.h"
+
+namespace flash::baselines::gas {
+
+/// PowerGraph-style GAS baselines for the evaluation tables. GAS programs
+/// can only exchange with immediate neighbours, always gather the whole
+/// neighbourhood of an active vertex, and express multi-phase logic by
+/// tagging rounds — the expressiveness constraints Table I records.
+
+struct GasRunOptions {
+  int num_workers = 4;
+  int64_t max_iterations = 1'000'000;
+};
+
+struct GasCcResult {
+  std::vector<VertexId> label;
+  Metrics metrics;
+};
+GasCcResult Cc(const GraphPtr& graph, const GasRunOptions& options = {});
+
+struct GasBfsResult {
+  std::vector<uint32_t> distance;
+  Metrics metrics;
+};
+GasBfsResult Bfs(const GraphPtr& graph, VertexId root,
+                 const GasRunOptions& options = {});
+
+struct GasBcResult {
+  std::vector<double> dependency;
+  Metrics metrics;
+};
+GasBcResult Bc(const GraphPtr& graph, VertexId root,
+               const GasRunOptions& options = {});
+
+struct GasMisResult {
+  std::vector<bool> in_set;
+  Metrics metrics;
+};
+GasMisResult Mis(const GraphPtr& graph, const GasRunOptions& options = {});
+
+struct GasMmResult {
+  std::vector<VertexId> match;
+  Metrics metrics;
+};
+GasMmResult Mm(const GraphPtr& graph, const GasRunOptions& options = {});
+
+struct GasKCoreResult {
+  std::vector<uint32_t> core;
+  Metrics metrics;
+};
+GasKCoreResult KCore(const GraphPtr& graph, const GasRunOptions& options = {});
+
+struct GasCountResult {
+  uint64_t count = 0;
+  Metrics metrics;
+};
+GasCountResult TriangleCount(const GraphPtr& graph,
+                             const GasRunOptions& options = {});
+
+struct GasGcResult {
+  std::vector<uint32_t> color;
+  Metrics metrics;
+};
+GasGcResult GraphColoring(const GraphPtr& graph,
+                          const GasRunOptions& options = {});
+
+struct GasLpaResult {
+  std::vector<VertexId> label;
+  Metrics metrics;
+};
+GasLpaResult Lpa(const GraphPtr& graph, int iterations,
+                 const GasRunOptions& options = {});
+
+struct GasPageRankResult {
+  std::vector<double> rank;
+  Metrics metrics;
+};
+GasPageRankResult PageRank(const GraphPtr& graph, int iterations,
+                           const GasRunOptions& options = {});
+
+}  // namespace flash::baselines::gas
+
+#endif  // FLASH_BASELINES_GAS_ALGORITHMS_H_

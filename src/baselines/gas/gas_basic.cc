@@ -1,0 +1,176 @@
+// GAS baselines: the ISVP algorithms (CC, BFS, PageRank, LPA).
+
+#include <algorithm>
+
+#include "baselines/gas/algorithms.h"
+#include "baselines/gas/engine.h"
+
+namespace flash::baselines::gas {
+
+namespace {
+constexpr uint32_t kInf32 = 0xFFFFFFFFu;
+
+template <typename V, typename G>
+typename Engine<V, G>::Options MakeOptions(const GasRunOptions& options) {
+  typename Engine<V, G>::Options out;
+  out.num_workers = options.num_workers;
+  out.max_iterations = options.max_iterations;
+  return out;
+}
+}  // namespace
+
+GasCcResult Cc(const GraphPtr& graph, const GasRunOptions& options) {
+  using E = Engine<VertexId, VertexId>;
+  E engine(graph, MakeOptions<VertexId, VertexId>(options));
+  // LLOC-BEGIN
+  typename E::Program program;
+  program.init = [](VertexId& v, VertexId id) { v = id; };
+  program.gather = [](const VertexId&, VertexId, const VertexId& nbr,
+                      VertexId, float) { return std::optional<VertexId>(nbr); };
+  program.sum = [](const VertexId& a, const VertexId& b) {
+    return std::min(a, b);
+  };
+  program.apply = [](VertexId& v, VertexId, const std::optional<VertexId>& t,
+                     int64_t) {
+    if (t.has_value() && *t < v) {
+      v = *t;
+      return true;
+    }
+    return false;
+  };
+  engine.Run(program);
+  // LLOC-END
+  GasCcResult result;
+  result.label = engine.values();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GasBfsResult Bfs(const GraphPtr& graph, VertexId root,
+                 const GasRunOptions& options) {
+  using E = Engine<uint32_t, uint32_t>;
+  E engine(graph, MakeOptions<uint32_t, uint32_t>(options));
+  // LLOC-BEGIN
+  typename E::Program program;
+  program.init = [&](uint32_t& v, VertexId id) {
+    v = (id == root) ? 0 : kInf32;
+  };
+  program.gather = [](const uint32_t&, VertexId, const uint32_t& nbr,
+                      VertexId, float) {
+    return nbr == kInf32 ? std::nullopt : std::optional<uint32_t>(nbr + 1);
+  };
+  program.sum = [](const uint32_t& a, const uint32_t& b) {
+    return std::min(a, b);
+  };
+  program.apply = [&](uint32_t& v, VertexId id,
+                      const std::optional<uint32_t>& t, int64_t iteration) {
+    if (iteration == 0 && id == root) return true;  // Kick off the wave.
+    if (t.has_value() && *t < v) {
+      v = *t;
+      return true;
+    }
+    return false;
+  };
+  engine.Run(program);
+  // LLOC-END
+  GasBfsResult result;
+  result.distance = engine.values();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GasPageRankResult PageRank(const GraphPtr& graph, int iterations,
+                           const GasRunOptions& options) {
+  struct V {
+    double rank = 0;
+    double next = 0;
+  };
+  using E = Engine<V, double>;
+  GasRunOptions one_shot = options;
+  one_shot.max_iterations = 1;
+  E engine(graph, MakeOptions<V, double>(one_shot));
+  const double n = graph->NumVertices();
+  const double damping = 0.85;
+  // LLOC-BEGIN
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    engine.values()[v].rank = 1.0 / n;
+  }
+  for (int iter = 0; iter < iterations; ++iter) {
+    double dangling = 0;
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      if (graph->OutDegree(v) == 0) dangling += engine.values()[v].rank;
+    }
+    typename E::Program program;
+    program.gather = [&](const V&, VertexId, const V& nbr, VertexId nbr_id,
+                         float) {
+      return std::optional<double>(nbr.rank / graph->OutDegree(nbr_id));
+    };
+    program.sum = [](const double& a, const double& b) { return a + b; };
+    program.apply = [&](V& v, VertexId, const std::optional<double>& t,
+                        int64_t) {
+      // Double-buffered so in-iteration gathers read the old ranks.
+      v.next = (1.0 - damping) / n +
+               damping * (t.value_or(0.0) + dangling / n);
+      return false;  // Driver drives the rounds; no scatter needed.
+    };
+    engine.SignalAll();
+    engine.Run(program);
+    for (V& v : engine.values()) v.rank = v.next;
+  }
+  // LLOC-END
+  GasPageRankResult result;
+  result.rank.reserve(graph->NumVertices());
+  for (const V& v : engine.values()) result.rank.push_back(v.rank);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GasLpaResult Lpa(const GraphPtr& graph, int iterations,
+                 const GasRunOptions& options) {
+  using List = std::vector<VertexId>;
+  using E = Engine<VertexId, List>;
+  GasRunOptions one_shot = options;
+  one_shot.max_iterations = 1;
+  E engine(graph, MakeOptions<VertexId, List>(one_shot));
+  // LLOC-BEGIN
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) engine.values()[v] = v;
+  typename E::Program program;
+  program.gather = [](const VertexId&, VertexId, const VertexId& nbr,
+                      VertexId, float) {
+    return std::optional<List>(List{nbr});
+  };
+  program.sum = [](const List& a, const List& b) {
+    List merged = a;
+    merged.insert(merged.end(), b.begin(), b.end());
+    return merged;
+  };
+  program.apply = [](VertexId& v, VertexId, const std::optional<List>& t,
+                     int64_t) {
+    if (!t.has_value()) return false;
+    List labels = *t;
+    std::sort(labels.begin(), labels.end());
+    size_t best = 0;
+    for (size_t i = 0; i < labels.size();) {
+      size_t j = i;
+      while (j < labels.size() && labels[j] == labels[i]) ++j;
+      if (j - i > best) {
+        best = j - i;
+        v = labels[i];
+      }
+      i = j;
+    }
+    return false;
+  };
+  program.gather_size = [](const List& g) { return g.size() * sizeof(VertexId); };
+  for (int iter = 0; iter < iterations; ++iter) {
+    engine.SignalAll();
+    engine.Run(program);
+  }
+  // LLOC-END
+  GasLpaResult result;
+  result.label = engine.values();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+}  // namespace flash::baselines::gas

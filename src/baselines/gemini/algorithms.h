@@ -1,0 +1,72 @@
+#ifndef FLASH_BASELINES_GEMINI_ALGORITHMS_H_
+#define FLASH_BASELINES_GEMINI_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "flashware/metrics.h"
+#include "graph/graph.h"
+
+namespace flash::baselines::gemini {
+
+/// The Gemini-model baselines: only the applications Table I marks as
+/// expressible in Gemini exist here (CC, BFS, BC, MIS, MM — plus SSSP and
+/// PageRank, Gemini's own demo workloads). KC, TC, GC, SCC, BCC, LPA, MSF,
+/// RC and CL cannot be written against this engine: its messages are
+/// fixed-length and neighbourhood-only, exactly the constraint the paper
+/// identifies.
+
+struct GeminiRunOptions {
+  int num_workers = 4;
+};
+
+struct GeminiBfsResult {
+  std::vector<uint32_t> distance;
+  Metrics metrics;
+};
+GeminiBfsResult Bfs(const GraphPtr& graph, VertexId root,
+                    const GeminiRunOptions& options = {});
+
+struct GeminiCcResult {
+  std::vector<VertexId> label;
+  Metrics metrics;
+};
+GeminiCcResult Cc(const GraphPtr& graph, const GeminiRunOptions& options = {});
+
+struct GeminiSsspResult {
+  std::vector<float> distance;
+  Metrics metrics;
+};
+GeminiSsspResult Sssp(const GraphPtr& graph, VertexId root,
+                      const GeminiRunOptions& options = {});
+
+struct GeminiPageRankResult {
+  std::vector<double> rank;
+  Metrics metrics;
+};
+GeminiPageRankResult PageRank(const GraphPtr& graph, int iterations,
+                              const GeminiRunOptions& options = {});
+
+struct GeminiBcResult {
+  std::vector<double> dependency;
+  Metrics metrics;
+};
+GeminiBcResult Bc(const GraphPtr& graph, VertexId root,
+                  const GeminiRunOptions& options = {});
+
+struct GeminiMisResult {
+  std::vector<bool> in_set;
+  Metrics metrics;
+};
+GeminiMisResult Mis(const GraphPtr& graph,
+                    const GeminiRunOptions& options = {});
+
+struct GeminiMmResult {
+  std::vector<VertexId> match;
+  Metrics metrics;
+};
+GeminiMmResult Mm(const GraphPtr& graph, const GeminiRunOptions& options = {});
+
+}  // namespace flash::baselines::gemini
+
+#endif  // FLASH_BASELINES_GEMINI_ALGORITHMS_H_

@@ -1,0 +1,437 @@
+// Gemini-model baselines. Vertex state lives in plain fixed-width arrays
+// owned by the program (Gemini's style); activity is tracked with raw
+// bitmaps; every exchange is a fixed-length message along E.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/gemini/algorithms.h"
+#include "baselines/gemini/engine.h"
+
+namespace flash::baselines::gemini {
+
+namespace {
+constexpr uint32_t kInf32 = 0xFFFFFFFFu;
+constexpr float kInfF = std::numeric_limits<float>::infinity();
+
+template <typename Msg>
+typename Engine<Msg>::Options MakeOptions(const GeminiRunOptions& options) {
+  typename Engine<Msg>::Options out;
+  out.num_workers = options.num_workers;
+  return out;
+}
+}  // namespace
+
+GeminiBfsResult Bfs(const GraphPtr& graph, VertexId root,
+                    const GeminiRunOptions& options) {
+  Engine<uint32_t> engine(graph, MakeOptions<uint32_t>(options));
+  // LLOC-BEGIN
+  // Synchronous iterations: slots write the shadow array, a commit pass
+  // publishes it (real Gemini is BSP across nodes per process_edges round).
+  std::vector<uint32_t> dist(graph->NumVertices(), kInf32);
+  std::vector<uint32_t> dist_next(graph->NumVertices(), kInf32);
+  Bitset active = engine.MakeSubset();
+  Bitset next = engine.MakeSubset();
+  if (root < graph->NumVertices()) {
+    dist[root] = 0;
+    dist_next[root] = 0;
+    active.Set(root);
+  }
+  auto relax = [&](VertexId v, uint32_t m) -> uint64_t {
+    if (m < dist_next[v]) {
+      dist_next[v] = m;
+      next.Set(v);
+      return 1;
+    }
+    return 0;
+  };
+  while (active.Count() > 0) {
+    next.Reset();
+    engine.ProcessEdges(
+        active, [&](VertexId u, const auto& emit) { emit(dist[u] + 1); },
+        [&](VertexId v, const uint32_t& m, float) { return relax(v, m); },
+        [&](VertexId v, const Bitset& frontier, const auto& emit) {
+          if (dist[v] != kInf32) return;
+          uint32_t best = kInf32;
+          for (VertexId u : graph->InNeighbors(v)) {
+            if (frontier.Test(u)) best = std::min(best, dist[u] + 1);
+          }
+          if (best != kInf32) emit(best);
+        },
+        [&](VertexId v, const uint32_t& m) { return relax(v, m); });
+    engine.ProcessVertices(next, [&](VertexId v) -> uint64_t {
+      dist[v] = dist_next[v];
+      return 1;
+    });
+    std::swap(active, next);
+  }
+  // LLOC-END
+  GeminiBfsResult result;
+  result.distance = std::move(dist);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GeminiCcResult Cc(const GraphPtr& graph, const GeminiRunOptions& options) {
+  Engine<VertexId> engine(graph, MakeOptions<VertexId>(options));
+  // LLOC-BEGIN
+  // Synchronous min-label propagation over a shadow array (see Bfs).
+  std::vector<VertexId> label(graph->NumVertices());
+  std::vector<VertexId> label_next(graph->NumVertices());
+  Bitset active = engine.MakeSubset();
+  Bitset next = engine.MakeSubset();
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    label[v] = v;
+    label_next[v] = v;
+    active.Set(v);
+  }
+  auto absorb = [&](VertexId v, VertexId m) -> uint64_t {
+    if (m < label_next[v]) {
+      label_next[v] = m;
+      next.Set(v);
+      return 1;
+    }
+    return 0;
+  };
+  while (active.Count() > 0) {
+    next.Reset();
+    engine.ProcessEdges(
+        active, [&](VertexId u, const auto& emit) { emit(label[u]); },
+        [&](VertexId v, const VertexId& m, float) { return absorb(v, m); },
+        [&](VertexId v, const Bitset& frontier, const auto& emit) {
+          VertexId best = label[v];
+          for (VertexId u : graph->InNeighbors(v)) {
+            if (frontier.Test(u)) best = std::min(best, label[u]);
+          }
+          if (best < label[v]) emit(best);
+        },
+        [&](VertexId v, const VertexId& m) { return absorb(v, m); });
+    engine.ProcessVertices(next, [&](VertexId v) -> uint64_t {
+      label[v] = label_next[v];
+      return 1;
+    });
+    std::swap(active, next);
+  }
+  // LLOC-END
+  GeminiCcResult result;
+  result.label = std::move(label);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GeminiSsspResult Sssp(const GraphPtr& graph, VertexId root,
+                      const GeminiRunOptions& options) {
+  Engine<float> engine(graph, MakeOptions<float>(options));
+  // LLOC-BEGIN
+  // Synchronous relaxations over a shadow array (see Bfs).
+  std::vector<float> dist(graph->NumVertices(), kInfF);
+  std::vector<float> dist_next(graph->NumVertices(), kInfF);
+  Bitset active = engine.MakeSubset();
+  Bitset next = engine.MakeSubset();
+  if (root < graph->NumVertices()) {
+    dist[root] = 0;
+    dist_next[root] = 0;
+    active.Set(root);
+  }
+  auto relax = [&](VertexId v, float candidate) -> uint64_t {
+    if (candidate < dist_next[v]) {
+      dist_next[v] = candidate;
+      next.Set(v);
+      return 1;
+    }
+    return 0;
+  };
+  while (active.Count() > 0) {
+    next.Reset();
+    engine.ProcessEdges(
+        active, [&](VertexId u, const auto& emit) { emit(dist[u]); },
+        [&](VertexId v, const float& m, float w) { return relax(v, m + w); },
+        [&](VertexId v, const Bitset& frontier, const auto& emit) {
+          float best = dist[v];
+          auto nbrs = graph->InNeighbors(v);
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            if (!frontier.Test(nbrs[i])) continue;
+            float w = graph->is_weighted() ? graph->InWeights(v)[i] : 1.0f;
+            best = std::min(best, dist[nbrs[i]] + w);
+          }
+          if (best < dist[v]) emit(best);
+        },
+        [&](VertexId v, const float& m) { return relax(v, m); });
+    engine.ProcessVertices(next, [&](VertexId v) -> uint64_t {
+      dist[v] = dist_next[v];
+      return 1;
+    });
+    std::swap(active, next);
+  }
+  // LLOC-END
+  GeminiSsspResult result;
+  result.distance = std::move(dist);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GeminiPageRankResult PageRank(const GraphPtr& graph, int iterations,
+                              const GeminiRunOptions& options) {
+  Engine<double> engine(graph, MakeOptions<double>(options));
+  const double n = graph->NumVertices();
+  const double damping = 0.85;
+  // LLOC-BEGIN
+  std::vector<double> rank(graph->NumVertices(), n > 0 ? 1.0 / n : 0.0);
+  std::vector<double> acc(graph->NumVertices(), 0.0);
+  Bitset all = engine.MakeSubset();
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) all.Set(v);
+  for (int iter = 0; iter < iterations; ++iter) {
+    double dangling = 0;
+    engine.ProcessVertices(all, [&](VertexId v) -> uint64_t {
+      if (graph->OutDegree(v) == 0) dangling += rank[v];
+      acc[v] = 0;
+      return 1;
+    });
+    engine.ProcessEdges(
+        all,
+        [&](VertexId u, const auto& emit) {
+          if (graph->OutDegree(u) > 0) emit(rank[u] / graph->OutDegree(u));
+        },
+        [&](VertexId v, const double& m, float) -> uint64_t {
+          acc[v] += m;
+          return 1;
+        },
+        [&](VertexId v, const Bitset&, const auto& emit) {
+          double sum = 0;
+          for (VertexId u : graph->InNeighbors(v)) {
+            sum += rank[u] / graph->OutDegree(u);
+          }
+          emit(sum);
+        },
+        [&](VertexId v, const double& m) -> uint64_t {
+          acc[v] = m;
+          return 1;
+        });
+    engine.ProcessVertices(all, [&](VertexId v) -> uint64_t {
+      rank[v] = (1.0 - damping) / n + damping * (acc[v] + dangling / n);
+      return 1;
+    });
+  }
+  // LLOC-END
+  GeminiPageRankResult result;
+  result.rank = std::move(rank);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GeminiBcResult Bc(const GraphPtr& graph, VertexId root,
+                  const GeminiRunOptions& options) {
+  struct Msg {
+    double value;
+  };
+  Engine<Msg> engine(graph, MakeOptions<Msg>(options));
+  const VertexId n = graph->NumVertices();
+  // LLOC-BEGIN
+  std::vector<int32_t> level(n, -1);
+  std::vector<double> sigma(n, 0.0), delta(n, 0.0), acc(n, 0.0);
+  std::vector<Bitset> frontiers;  // Gemini must also track per-level sets.
+  Bitset active = engine.MakeSubset();
+  if (root < n) {
+    level[root] = 0;
+    sigma[root] = 1;
+    active.Set(root);
+  }
+  // Forward: accumulate path counts level by level.
+  int32_t depth = 0;
+  while (active.Count() > 0) {
+    frontiers.push_back(active);
+    Bitset next = engine.MakeSubset();
+    std::fill(acc.begin(), acc.end(), 0.0);
+    engine.ProcessEdges(
+        active, [&](VertexId u, const auto& emit) { emit(Msg{sigma[u]}); },
+        [&](VertexId v, const Msg& m, float) -> uint64_t {
+          if (level[v] != -1) return 0;
+          acc[v] += m.value;
+          next.Set(v);
+          return 1;
+        },
+        [&](VertexId v, const Bitset& frontier, const auto& emit) {
+          if (level[v] != -1) return;
+          double sum = 0;
+          for (VertexId u : graph->InNeighbors(v)) {
+            if (frontier.Test(u)) sum += sigma[u];
+          }
+          if (sum > 0) emit(Msg{sum});
+        },
+        [&](VertexId v, const Msg& m) -> uint64_t {
+          acc[v] += m.value;
+          next.Set(v);
+          return 1;
+        });
+    ++depth;
+    engine.ProcessVertices(next, [&](VertexId v) -> uint64_t {
+      level[v] = depth;
+      sigma[v] = acc[v];
+      return 1;
+    });
+    active = std::move(next);
+  }
+  // Backward: dependency accumulation, deepest level first.
+  for (int32_t l = static_cast<int32_t>(frontiers.size()) - 1; l >= 1; --l) {
+    engine.ProcessVertices(frontiers[l - 1], [&](VertexId v) -> uint64_t {
+      double sum = 0;
+      for (VertexId u : graph->OutNeighbors(v)) {
+        if (level[u] == l && sigma[u] > 0) {
+          sum += sigma[v] / sigma[u] * (1.0 + delta[u]);
+        }
+      }
+      delta[v] = sum;
+      return 1;
+    });
+  }
+  // LLOC-END
+  GeminiBcResult result;
+  result.dependency = std::move(delta);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GeminiMisResult Mis(const GraphPtr& graph, const GeminiRunOptions& options) {
+  Engine<uint64_t> engine(graph, MakeOptions<uint64_t>(options));
+  const uint64_t n = graph->NumVertices();
+  // LLOC-BEGIN
+  std::vector<uint64_t> priority(n);
+  std::vector<uint64_t> min_seen(n);
+  std::vector<uint8_t> state(n, 0);  // 0 undecided, 1 in, 2 out.
+  Bitset undecided = engine.MakeSubset();
+  for (VertexId v = 0; v < n; ++v) {
+    priority[v] = static_cast<uint64_t>(graph->OutDegree(v)) * n + v;
+    undecided.Set(v);
+  }
+  while (undecided.Count() > 0) {
+    std::fill(min_seen.begin(), min_seen.end(), ~uint64_t{0});
+    engine.ProcessEdges(
+        undecided, [&](VertexId u, const auto& emit) { emit(priority[u]); },
+        [&](VertexId v, const uint64_t& m, float) -> uint64_t {
+          min_seen[v] = std::min(min_seen[v], m);
+          return 1;
+        },
+        [&](VertexId v, const Bitset& frontier, const auto& emit) {
+          uint64_t best = ~uint64_t{0};
+          for (VertexId u : graph->InNeighbors(v)) {
+            if (frontier.Test(u)) best = std::min(best, priority[u]);
+          }
+          if (best != ~uint64_t{0}) emit(best);
+        },
+        [&](VertexId v, const uint64_t& m) -> uint64_t {
+          min_seen[v] = std::min(min_seen[v], m);
+          return 1;
+        });
+    Bitset winners = engine.MakeSubset();
+    engine.ProcessVertices(undecided, [&](VertexId v) -> uint64_t {
+      if (state[v] == 0 && priority[v] < min_seen[v]) {
+        state[v] = 1;
+        winners.Set(v);
+        return 1;
+      }
+      return 0;
+    });
+    engine.ProcessEdges(
+        winners, [&](VertexId u, const auto& emit) { emit(priority[u]); },
+        [&](VertexId v, const uint64_t&, float) -> uint64_t {
+          if (state[v] == 0) state[v] = 2;
+          return 1;
+        },
+        [&](VertexId v, const Bitset& frontier, const auto& emit) {
+          if (state[v] != 0) return;
+          for (VertexId u : graph->InNeighbors(v)) {
+            if (frontier.Test(u)) {
+              emit(0);
+              return;
+            }
+          }
+        },
+        [&](VertexId v, const uint64_t&) -> uint64_t {
+          if (state[v] == 0) state[v] = 2;
+          return 1;
+        });
+    Bitset still = engine.MakeSubset();
+    engine.ProcessVertices(undecided, [&](VertexId v) -> uint64_t {
+      if (state[v] == 0) still.Set(v);
+      return 0;
+    });
+    undecided = std::move(still);
+  }
+  // LLOC-END
+  GeminiMisResult result;
+  result.in_set.reserve(n);
+  for (uint8_t s : state) result.in_set.push_back(s == 1);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+GeminiMmResult Mm(const GraphPtr& graph, const GeminiRunOptions& options) {
+  Engine<uint64_t> engine(graph, MakeOptions<uint64_t>(options));
+  const VertexId n = graph->NumVertices();
+  // LLOC-BEGIN
+  std::vector<int64_t> partner(n, -1);
+  std::vector<int64_t> best(n, -1);
+  Bitset unmatched = engine.MakeSubset();
+  for (VertexId v = 0; v < n; ++v) unmatched.Set(v);
+  while (true) {
+    // Bid: unmatched vertices offer their id to unmatched neighbours.
+    engine.ProcessVertices(unmatched, [&](VertexId v) -> uint64_t {
+      best[v] = -1;
+      return 0;
+    });
+    engine.ProcessEdges(
+        unmatched,
+        [&](VertexId u, const auto& emit) { emit(uint64_t{u}); },
+        [&](VertexId v, const uint64_t& m, float) -> uint64_t {
+          if (partner[v] == -1) {
+            best[v] = std::max<int64_t>(best[v], static_cast<int64_t>(m));
+          }
+          return 1;
+        },
+        [&](VertexId v, const Bitset& frontier, const auto& emit) {
+          if (partner[v] != -1) return;
+          int64_t top = -1;
+          for (VertexId u : graph->InNeighbors(v)) {
+            if (frontier.Test(u)) top = std::max<int64_t>(top, u);
+          }
+          if (top >= 0) emit(static_cast<uint64_t>(top));
+        },
+        [&](VertexId v, const uint64_t& m) -> uint64_t {
+          if (partner[v] == -1) {
+            best[v] = std::max<int64_t>(best[v], static_cast<int64_t>(m));
+          }
+          return 1;
+        });
+    // Match: mutual best bidders pair up (fixed-length (u, best[u]) pairs).
+    uint64_t matched = engine.ProcessVertices(unmatched, [&](VertexId v)
+                                                  -> uint64_t {
+      if (partner[v] != -1 || best[v] < 0) return 0;
+      VertexId b = static_cast<VertexId>(best[v]);
+      if (partner[b] == -1 && best[b] == static_cast<int64_t>(v) && v < b) {
+        partner[v] = b;
+        partner[b] = v;
+        return 2;
+      }
+      return 0;
+    });
+    if (matched == 0) break;
+    Bitset still = engine.MakeSubset();
+    engine.ProcessVertices(unmatched, [&](VertexId v) -> uint64_t {
+      if (partner[v] == -1) still.Set(v);
+      return 0;
+    });
+    unmatched = std::move(still);
+  }
+  // LLOC-END
+  GeminiMmResult result;
+  result.match.reserve(n);
+  for (int64_t p : partner) {
+    result.match.push_back(p == -1 ? kInvalidVertex
+                                   : static_cast<VertexId>(p));
+  }
+  result.metrics = engine.metrics();
+  return result;
+}
+
+}  // namespace flash::baselines::gemini

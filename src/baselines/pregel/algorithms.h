@@ -1,0 +1,123 @@
+#ifndef FLASH_BASELINES_PREGEL_ALGORITHMS_H_
+#define FLASH_BASELINES_PREGEL_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "flashware/metrics.h"
+#include "graph/graph.h"
+
+namespace flash::baselines::pregel {
+
+/// The Pregel-model baseline implementations used by the evaluation
+/// (Tables I, V, VI): classic message-passing algorithms, including the
+/// multi-phase / chained-sub-algorithm style that Pregel+ resorts to for
+/// SCC, BCC and MSF. All run on the Engine in engine.h with exact
+/// communication accounting. Results carry the run's Metrics so the bench
+/// harness can compare work and traffic against FLASH.
+
+struct PregelRunOptions {
+  int num_workers = 4;
+  int64_t max_supersteps = 1'000'000;
+};
+
+struct PregelBfsResult {
+  std::vector<uint32_t> distance;
+  Metrics metrics;
+};
+PregelBfsResult Bfs(const GraphPtr& graph, VertexId root,
+                    const PregelRunOptions& options = {});
+
+struct PregelCcResult {
+  std::vector<VertexId> label;
+  Metrics metrics;
+};
+PregelCcResult Cc(const GraphPtr& graph, const PregelRunOptions& options = {});
+
+struct PregelSsspResult {
+  std::vector<float> distance;
+  Metrics metrics;
+};
+PregelSsspResult Sssp(const GraphPtr& graph, VertexId root,
+                      const PregelRunOptions& options = {});
+
+struct PregelPageRankResult {
+  std::vector<double> rank;
+  Metrics metrics;
+};
+PregelPageRankResult PageRank(const GraphPtr& graph, int iterations,
+                              const PregelRunOptions& options = {});
+
+struct PregelBcResult {
+  std::vector<double> dependency;
+  Metrics metrics;
+};
+PregelBcResult Bc(const GraphPtr& graph, VertexId root,
+                  const PregelRunOptions& options = {});
+
+struct PregelMisResult {
+  std::vector<bool> in_set;
+  Metrics metrics;
+};
+PregelMisResult Mis(const GraphPtr& graph,
+                    const PregelRunOptions& options = {});
+
+struct PregelMmResult {
+  std::vector<VertexId> match;
+  Metrics metrics;
+};
+PregelMmResult Mm(const GraphPtr& graph, const PregelRunOptions& options = {});
+
+struct PregelKCoreResult {
+  std::vector<uint32_t> core;
+  Metrics metrics;
+};
+PregelKCoreResult KCore(const GraphPtr& graph,
+                        const PregelRunOptions& options = {});
+
+struct PregelCountResult {
+  uint64_t count = 0;
+  Metrics metrics;
+};
+PregelCountResult TriangleCount(const GraphPtr& graph,
+                                const PregelRunOptions& options = {});
+
+struct PregelGcResult {
+  std::vector<uint32_t> color;
+  Metrics metrics;
+};
+PregelGcResult GraphColoring(const GraphPtr& graph,
+                             const PregelRunOptions& options = {});
+
+struct PregelSccResult {
+  std::vector<VertexId> label;
+  Metrics metrics;
+};
+PregelSccResult Scc(const GraphPtr& graph,
+                    const PregelRunOptions& options = {});
+
+struct PregelBccResult {
+  uint64_t num_bcc = 0;
+  Metrics metrics;
+};
+PregelBccResult Bcc(const GraphPtr& graph,
+                    const PregelRunOptions& options = {});
+
+struct PregelLpaResult {
+  std::vector<VertexId> label;
+  Metrics metrics;
+};
+PregelLpaResult Lpa(const GraphPtr& graph, int iterations,
+                    const PregelRunOptions& options = {});
+
+struct PregelMsfResult {
+  double total_weight = 0;
+  uint64_t num_edges = 0;
+  Metrics metrics;
+};
+PregelMsfResult Msf(const GraphPtr& graph,
+                    const PregelRunOptions& options = {});
+
+}  // namespace flash::baselines::pregel
+
+#endif  // FLASH_BASELINES_PREGEL_ALGORITHMS_H_

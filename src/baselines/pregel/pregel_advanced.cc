@@ -1,0 +1,328 @@
+// Pregel baselines for the "hard" single-program applications: BC (two
+// chained phases), MIS (Luby), MM (3-phase handshake), k-core peeling, TC
+// (neighbour-list exchange), and greedy graph colouring.
+
+#include <algorithm>
+
+#include "baselines/pregel/algorithms.h"
+#include "baselines/pregel/engine.h"
+
+namespace flash::baselines::pregel {
+
+namespace {
+template <typename V, typename M>
+typename Engine<V, M>::Options MakeOptions(const PregelRunOptions& options) {
+  typename Engine<V, M>::Options out;
+  out.num_workers = options.num_workers;
+  out.max_supersteps = options.max_supersteps;
+  return out;
+}
+}  // namespace
+
+PregelBcResult Bc(const GraphPtr& graph, VertexId root,
+                  const PregelRunOptions& options) {
+  struct Value {
+    int32_t level = -1;
+    double sigma = 0;
+    double delta = 0;
+  };
+  struct Msg {
+    int32_t level = 0;
+    double sigma = 0;
+    double delta = 0;
+  };
+  using E = Engine<Value, Msg>;
+  E engine(graph, MakeOptions<Value, Msg>(options));
+  // LLOC-BEGIN
+  // Phase 1: BFS levels and shortest-path counts. All parents of a vertex
+  // are levelled in the same superstep, so the sigma sum arrives complete.
+  engine.Run([&](E::Context& ctx, std::span<const Msg> messages) {
+    if (ctx.superstep() == 0 && ctx.id() == root) {
+      ctx.value().level = 0;
+      ctx.value().sigma = 1;
+      ctx.SendToAllOutNeighbors(Msg{0, 1, 0});
+    } else if (ctx.value().level == -1 && !messages.empty()) {
+      ctx.value().level = static_cast<int32_t>(ctx.superstep());
+      double sigma = 0;
+      for (const Msg& m : messages) sigma += m.sigma;
+      ctx.value().sigma = sigma;
+      ctx.SendToAllOutNeighbors(Msg{ctx.value().level, sigma, 0});
+    }
+    ctx.VoteToHalt();
+  });
+  int32_t max_level = 0;
+  for (const Value& v : engine.values()) max_level = std::max(max_level, v.level);
+  // Phase 2: dependency accumulation, deepest level first. A vertex at
+  // level l fires at superstep max_level - l, right after its children.
+  engine.Reset();
+  engine.Run([&](E::Context& ctx, std::span<const Msg> messages) {
+    Value& v = ctx.value();
+    if (v.level < 0) {
+      ctx.VoteToHalt();
+      return;
+    }
+    for (const Msg& m : messages) {
+      if (m.level == v.level + 1 && m.sigma > 0) {
+        v.delta += v.sigma / m.sigma * (1.0 + m.delta);
+      }
+    }
+    if (ctx.superstep() == max_level - v.level) {
+      ctx.SendToAllOutNeighbors(Msg{v.level, v.sigma, v.delta});
+    }
+    if (ctx.superstep() >= max_level - v.level) ctx.VoteToHalt();
+  });
+  // LLOC-END
+  PregelBcResult result;
+  result.dependency.reserve(graph->NumVertices());
+  for (const Value& v : engine.values()) result.dependency.push_back(v.delta);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelMisResult Mis(const GraphPtr& graph, const PregelRunOptions& options) {
+  struct Value {
+    uint64_t r = 0;
+    uint8_t state = 0;  // 0 undecided, 1 in set, 2 out.
+  };
+  struct Msg {
+    uint64_t r = 0;
+    uint8_t kill = 0;
+  };
+  using E = Engine<Value, Msg>;
+  E engine(graph, MakeOptions<Value, Msg>(options));
+  const uint64_t n = graph->NumVertices();
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const Msg> messages) {
+    Value& v = ctx.value();
+    if (ctx.superstep() == 0) {
+      v.r = static_cast<uint64_t>(ctx.out_degree()) * n + ctx.id();
+    }
+    if (v.state != 0) {
+      ctx.VoteToHalt();
+      return;
+    }
+    if (ctx.superstep() % 2 == 0) {  // Bid phase (kills arrive here too).
+      for (const Msg& m : messages) {
+        if (m.kill) {
+          v.state = 2;
+          ctx.VoteToHalt();
+          return;
+        }
+      }
+      ctx.SendToAllOutNeighbors(Msg{v.r, 0});
+    } else {  // Decision phase: local minima join and knock neighbours out.
+      uint64_t best = ~uint64_t{0};
+      for (const Msg& m : messages) best = std::min(best, m.r);
+      if (v.r < best) {
+        v.state = 1;
+        ctx.SendToAllOutNeighbors(Msg{0, 1});
+        ctx.VoteToHalt();
+      }
+    }
+  });
+  // LLOC-END
+  PregelMisResult result;
+  result.in_set.reserve(n);
+  for (const Value& v : engine.values()) result.in_set.push_back(v.state == 1);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelMmResult Mm(const GraphPtr& graph, const PregelRunOptions& options) {
+  struct Value {
+    int64_t s = -1;            // Matched partner.
+    int64_t accepted_to = -1;  // Whom I accepted this round.
+  };
+  struct Msg {
+    VertexId from = 0;
+    uint8_t accept = 0;  // 0 = bid, 1 = accept.
+  };
+  using E = Engine<Value, Msg>;
+  E engine(graph, MakeOptions<Value, Msg>(options));
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const Msg> messages) {
+    Value& v = ctx.value();
+    if (v.s != -1) {
+      ctx.VoteToHalt();
+      return;
+    }
+    switch (ctx.superstep() % 3) {
+      case 0:  // Bid (or stop when the previous round matched nobody).
+        if (ctx.superstep() > 2 && ctx.PrevAggregate() == 0) {
+          ctx.VoteToHalt();
+          return;
+        }
+        ctx.SendToAllOutNeighbors(Msg{ctx.id(), 0});
+        break;
+      case 1: {  // Accept the largest bidder.
+        int64_t best = -1;
+        for (const Msg& m : messages) {
+          if (!m.accept) best = std::max<int64_t>(best, m.from);
+        }
+        v.accepted_to = best;
+        if (best >= 0) {
+          ctx.SendTo(static_cast<VertexId>(best), Msg{ctx.id(), 1});
+        } else {
+          ctx.VoteToHalt();  // No unmatched neighbour bid: maximal locally.
+        }
+        break;
+      }
+      case 2:  // Mutual accepts become matches.
+        for (const Msg& m : messages) {
+          if (m.accept && v.accepted_to == static_cast<int64_t>(m.from)) {
+            v.s = m.from;
+            ctx.Aggregate(1);
+            ctx.VoteToHalt();
+          }
+        }
+        break;
+    }
+  });
+  // LLOC-END
+  PregelMmResult result;
+  result.match.reserve(graph->NumVertices());
+  for (const Value& v : engine.values()) {
+    result.match.push_back(v.s == -1 ? kInvalidVertex
+                                     : static_cast<VertexId>(v.s));
+  }
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelKCoreResult KCore(const GraphPtr& graph,
+                        const PregelRunOptions& options) {
+  struct Value {
+    int64_t d = 0;
+    uint32_t core = 0;
+    uint8_t alive = 1;
+  };
+  using E = Engine<Value, int32_t>;
+  E engine(graph, MakeOptions<Value, int32_t>(options));
+  engine.set_combiner([](int32_t a, int32_t b) { return a + b; });
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    engine.values()[v].d = graph->OutDegree(v);
+  }
+  // LLOC-BEGIN
+  uint32_t k = 1;
+  while (true) {
+    engine.Reset();
+    engine.Run([&](E::Context& ctx, std::span<const int32_t> messages) {
+      Value& v = ctx.value();
+      int64_t dec = 0;
+      for (int32_t m : messages) dec += m;
+      v.d -= dec;
+      if (v.alive && v.d < static_cast<int64_t>(k)) {
+        v.alive = 0;
+        v.core = k - 1;
+        ctx.SendToAllOutNeighbors(1);
+      }
+      ctx.VoteToHalt();
+    });
+    bool any_alive = false;
+    for (const Value& v : engine.values()) any_alive |= (v.alive != 0);
+    if (!any_alive) break;
+    ++k;
+  }
+  // LLOC-END
+  PregelKCoreResult result;
+  result.core.reserve(graph->NumVertices());
+  for (const Value& v : engine.values()) result.core.push_back(v.core);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelCountResult TriangleCount(const GraphPtr& graph,
+                                const PregelRunOptions& options) {
+  using List = std::vector<VertexId>;
+  using E = Engine<List, List>;
+  E engine(graph, MakeOptions<List, List>(options));
+  auto higher = [&](VertexId a, VertexId b) {  // b higher-ordered than a.
+    uint32_t da = graph->OutDegree(a), db = graph->OutDegree(b);
+    return db > da || (db == da && b > a);
+  };
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const List> messages) {
+    if (ctx.superstep() == 0) {
+      List& fwd = ctx.value();
+      for (VertexId u : ctx.out_neighbors()) {
+        if (higher(ctx.id(), u)) fwd.push_back(u);
+      }
+      std::sort(fwd.begin(), fwd.end());
+      for (VertexId u : fwd) ctx.SendTo(u, fwd);
+    } else {
+      int64_t count = 0;
+      const List& fwd = ctx.value();
+      for (const List& incoming : messages) {
+        count += static_cast<int64_t>(std::count_if(
+            incoming.begin(), incoming.end(), [&](VertexId w) {
+              return std::binary_search(fwd.begin(), fwd.end(), w);
+            }));
+      }
+      ctx.Aggregate(count);
+    }
+    ctx.VoteToHalt();
+  });
+  // LLOC-END
+  PregelCountResult result;
+  result.count = static_cast<uint64_t>(engine.prev_aggregate());
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelGcResult GraphColoring(const GraphPtr& graph,
+                             const PregelRunOptions& options) {
+  struct Value {
+    uint32_t c = 0;
+    std::vector<std::pair<VertexId, uint32_t>> seen;  // Higher nbr colours.
+  };
+  struct Msg {
+    VertexId from = 0;
+    uint32_t color = 0;
+  };
+  using E = Engine<Value, Msg>;
+  E engine(graph, MakeOptions<Value, Msg>(options));
+  auto higher = [&](VertexId a, VertexId b) {  // b higher-priority than a.
+    uint32_t da = graph->OutDegree(a), db = graph->OutDegree(b);
+    return db > da || (db == da && b > a);
+  };
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const Msg> messages) {
+    Value& v = ctx.value();
+    for (const Msg& m : messages) {  // Latest colour per higher neighbour.
+      auto it = std::find_if(v.seen.begin(), v.seen.end(),
+                             [&](const auto& p) { return p.first == m.from; });
+      if (it == v.seen.end()) {
+        v.seen.emplace_back(m.from, m.color);
+      } else {
+        it->second = m.color;
+      }
+    }
+    std::vector<uint32_t> used;
+    for (const auto& [from, color] : v.seen) used.push_back(color);
+    std::sort(used.begin(), used.end());
+    uint32_t candidate = 0;
+    for (uint32_t color : used) {
+      if (color == candidate) {
+        ++candidate;
+      } else if (color > candidate) {
+        break;
+      }
+    }
+    bool changed = (candidate != v.c) || ctx.superstep() == 0;
+    v.c = candidate;
+    if (changed) {
+      for (VertexId u : ctx.out_neighbors()) {
+        if (!higher(ctx.id(), u)) ctx.SendTo(u, Msg{ctx.id(), v.c});
+      }
+    }
+    ctx.VoteToHalt();
+  });
+  // LLOC-END
+  PregelGcResult result;
+  result.color.reserve(graph->NumVertices());
+  for (const Value& v : engine.values()) result.color.push_back(v.c);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+}  // namespace flash::baselines::pregel

@@ -1,0 +1,181 @@
+// Pregel baselines: the classic single-phase ISVP algorithms
+// (BFS, CC, SSSP, PageRank, LPA).
+
+#include <algorithm>
+
+#include "baselines/pregel/algorithms.h"
+#include "baselines/pregel/engine.h"
+
+namespace flash::baselines::pregel {
+
+namespace {
+constexpr uint32_t kInf32 = 0xFFFFFFFFu;
+constexpr float kInfF = std::numeric_limits<float>::infinity();
+
+template <typename V, typename M>
+typename Engine<V, M>::Options MakeOptions(const PregelRunOptions& options) {
+  typename Engine<V, M>::Options out;
+  out.num_workers = options.num_workers;
+  out.max_supersteps = options.max_supersteps;
+  return out;
+}
+}  // namespace
+
+PregelBfsResult Bfs(const GraphPtr& graph, VertexId root,
+                    const PregelRunOptions& options) {
+  using E = Engine<uint32_t, uint32_t>;
+  E engine(graph, MakeOptions<uint32_t, uint32_t>(options));
+  engine.set_combiner([](uint32_t a, uint32_t b) { return std::min(a, b); });
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const uint32_t> messages) {
+    if (ctx.superstep() == 0) {
+      ctx.value() = (ctx.id() == root) ? 0 : kInf32;
+      if (ctx.id() == root) ctx.SendToAllOutNeighbors(1);
+      ctx.VoteToHalt();
+      return;
+    }
+    uint32_t best = kInf32;
+    for (uint32_t m : messages) best = std::min(best, m);
+    if (best < ctx.value()) {
+      ctx.value() = best;
+      ctx.SendToAllOutNeighbors(best + 1);
+    }
+    ctx.VoteToHalt();
+  });
+  // LLOC-END
+  PregelBfsResult result;
+  result.distance = engine.values();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelCcResult Cc(const GraphPtr& graph, const PregelRunOptions& options) {
+  using E = Engine<VertexId, VertexId>;
+  E engine(graph, MakeOptions<VertexId, VertexId>(options));
+  engine.set_combiner([](VertexId a, VertexId b) { return std::min(a, b); });
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const VertexId> messages) {
+    if (ctx.superstep() == 0) {
+      ctx.value() = ctx.id();
+      ctx.SendToAllOutNeighbors(ctx.value());
+      ctx.VoteToHalt();
+      return;
+    }
+    VertexId best = ctx.value();
+    for (VertexId m : messages) best = std::min(best, m);
+    if (best < ctx.value()) {
+      ctx.value() = best;
+      ctx.SendToAllOutNeighbors(best);
+    }
+    ctx.VoteToHalt();
+  });
+  // LLOC-END
+  PregelCcResult result;
+  result.label = engine.values();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelSsspResult Sssp(const GraphPtr& graph, VertexId root,
+                      const PregelRunOptions& options) {
+  using E = Engine<float, float>;
+  E engine(graph, MakeOptions<float, float>(options));
+  engine.set_combiner([](float a, float b) { return std::min(a, b); });
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const float> messages) {
+    if (ctx.superstep() == 0) ctx.value() = (ctx.id() == root) ? 0.0f : kInfF;
+    float best = ctx.value();
+    for (float m : messages) best = std::min(best, m);
+    if (best < ctx.value() || (ctx.superstep() == 0 && ctx.id() == root)) {
+      ctx.value() = best;
+      auto nbrs = ctx.out_neighbors();
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        ctx.SendTo(nbrs[i], best + ctx.out_weight(i));
+      }
+    }
+    ctx.VoteToHalt();
+  });
+  // LLOC-END
+  PregelSsspResult result;
+  result.distance = engine.values();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelPageRankResult PageRank(const GraphPtr& graph, int iterations,
+                              const PregelRunOptions& options) {
+  struct PrValue {
+    double rank = 0;
+  };
+  using E = Engine<PrValue, double>;
+  E engine(graph, MakeOptions<PrValue, double>(options));
+  engine.set_combiner([](double a, double b) { return a + b; });
+  const double n = graph->NumVertices();
+  const double damping = 0.85;
+  constexpr double kFixedPoint = 1e12;  // Aggregator carries dangling mass.
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const double> messages) {
+    if (ctx.superstep() == 0) {
+      ctx.value().rank = 1.0 / n;
+    } else {
+      double sum = 0;
+      for (double m : messages) sum += m;
+      double dangling = static_cast<double>(ctx.PrevAggregate()) / kFixedPoint;
+      ctx.value().rank =
+          (1.0 - damping) / n + damping * (sum + dangling / n);
+    }
+    if (ctx.superstep() < iterations) {
+      if (ctx.out_degree() > 0) {
+        ctx.SendToAllOutNeighbors(ctx.value().rank / ctx.out_degree());
+      } else {
+        ctx.Aggregate(static_cast<int64_t>(ctx.value().rank * kFixedPoint));
+      }
+    } else {
+      ctx.VoteToHalt();
+    }
+  });
+  // LLOC-END
+  PregelPageRankResult result;
+  result.rank.reserve(graph->NumVertices());
+  for (const auto& v : engine.values()) result.rank.push_back(v.rank);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelLpaResult Lpa(const GraphPtr& graph, int iterations,
+                    const PregelRunOptions& options) {
+  using E = Engine<VertexId, VertexId>;
+  E engine(graph, MakeOptions<VertexId, VertexId>(options));
+  // No combiner: label frequencies require the full multiset.
+  // LLOC-BEGIN
+  engine.Run([&](E::Context& ctx, std::span<const VertexId> messages) {
+    if (ctx.superstep() == 0) {
+      ctx.value() = ctx.id();
+    } else {
+      std::vector<VertexId> labels(messages.begin(), messages.end());
+      std::sort(labels.begin(), labels.end());
+      size_t best = 0;
+      for (size_t i = 0; i < labels.size();) {
+        size_t j = i;
+        while (j < labels.size() && labels[j] == labels[i]) ++j;
+        if (j - i > best) {
+          best = j - i;
+          ctx.value() = labels[i];
+        }
+        i = j;
+      }
+    }
+    if (ctx.superstep() < iterations) {
+      ctx.SendToAllOutNeighbors(ctx.value());
+    } else {
+      ctx.VoteToHalt();
+    }
+  });
+  // LLOC-END
+  PregelLpaResult result;
+  result.label = engine.values();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+}  // namespace flash::baselines::pregel

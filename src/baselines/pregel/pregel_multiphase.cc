@@ -1,0 +1,280 @@
+// Pregel baselines for the applications that the Pregel model can only
+// express as *chained sub-algorithms* (the paper's critique of Pregel+ for
+// SCC / BCC / MSF): a driver repeatedly resets the engine and runs another
+// vertex program over the carried-over state, paying full-graph supersteps
+// and driver-side data-sharing on every phase.
+
+#include <algorithm>
+
+#include "baselines/pregel/algorithms.h"
+#include "baselines/pregel/engine.h"
+#include "common/dsu.h"
+
+namespace flash::baselines::pregel {
+
+namespace {
+constexpr uint32_t kInf32 = 0xFFFFFFFFu;
+
+template <typename V, typename M>
+typename Engine<V, M>::Options MakeOptions(const PregelRunOptions& options) {
+  typename Engine<V, M>::Options out;
+  out.num_workers = options.num_workers;
+  out.max_supersteps = options.max_supersteps;
+  return out;
+}
+
+/// Bills a driver-side data-sharing step (Pregel+ sub-algorithms exchange
+/// their whole state through the driver): `bytes` of gather/broadcast.
+void BillDataSharing(Metrics& metrics, uint64_t bytes, int workers) {
+  StepSample sample;
+  sample.kind = StepKind::kAggregate;
+  sample.bytes_total = bytes;
+  sample.bytes_max = workers > 0 ? bytes / workers : bytes;
+  sample.msgs_total = static_cast<uint64_t>(workers);
+  metrics.AddStep(sample, true);
+}
+}  // namespace
+
+PregelSccResult Scc(const GraphPtr& graph, const PregelRunOptions& options) {
+  struct Value {
+    VertexId fid = 0;
+    VertexId scc = kInf32;
+  };
+  using E = Engine<Value, VertexId>;
+  E engine(graph, MakeOptions<Value, VertexId>(options));
+  // LLOC-BEGIN
+  while (true) {
+    // Sub-algorithm 1: forward min-id colouring of the unassigned subgraph.
+    engine.Reset();
+    engine.set_combiner([](VertexId a, VertexId b) { return std::min(a, b); });
+    engine.Run([&](E::Context& ctx, std::span<const VertexId> messages) {
+      Value& v = ctx.value();
+      if (v.scc != kInf32) {
+        ctx.VoteToHalt();
+        return;
+      }
+      bool changed = false;
+      if (ctx.superstep() == 0) {
+        v.fid = ctx.id();
+        changed = true;
+      }
+      for (VertexId m : messages) {
+        if (m < v.fid) {
+          v.fid = m;
+          changed = true;
+        }
+      }
+      if (changed) ctx.SendToAllOutNeighbors(v.fid);
+      ctx.VoteToHalt();
+    });
+    // Sub-algorithm 2: colour roots claim their SCC backwards.
+    engine.Reset();
+    engine.Run([&](E::Context& ctx, std::span<const VertexId> messages) {
+      Value& v = ctx.value();
+      if (v.scc != kInf32) {
+        ctx.VoteToHalt();
+        return;
+      }
+      bool claim = false;
+      if (ctx.superstep() == 0 && v.fid == ctx.id()) {
+        v.scc = ctx.id();
+        claim = true;
+      }
+      for (VertexId m : messages) {
+        if (v.scc == kInf32 && m == v.fid) {
+          v.scc = m;
+          claim = true;
+        }
+      }
+      if (claim) {
+        for (VertexId u : ctx.in_neighbors()) ctx.SendTo(u, v.scc);
+        ctx.VoteToHalt();
+      }
+      if (ctx.superstep() > 0 && !claim) ctx.VoteToHalt();
+    });
+    // Driver: data sharing between the chained phases (full state scan).
+    bool any_unassigned = false;
+    for (const Value& v : engine.values()) {
+      if (v.scc == kInf32) {
+        any_unassigned = true;
+        break;
+      }
+    }
+    BillDataSharing(engine.metrics(),
+                    uint64_t{8} * graph->NumVertices(), options.num_workers);
+    if (!any_unassigned) break;
+  }
+  // LLOC-END
+  PregelSccResult result;
+  result.label.reserve(graph->NumVertices());
+  for (const Value& v : engine.values()) result.label.push_back(v.scc);
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelBccResult Bcc(const GraphPtr& graph, const PregelRunOptions& options) {
+  struct Value {
+    VertexId cid = 0;
+    uint32_t d = 0;
+    int32_t dis = -1;
+    VertexId p = kInf32;
+  };
+  struct Msg {
+    VertexId a = 0;
+    uint32_t b = 0;
+  };
+  using E = Engine<Value, Msg>;
+  E engine(graph, MakeOptions<Value, Msg>(options));
+  // LLOC-BEGIN
+  // Sub-algorithm 1: find the (deg, id)-max representative per component.
+  engine.Run([&](E::Context& ctx, std::span<const Msg> messages) {
+    Value& v = ctx.value();
+    bool changed = false;
+    if (ctx.superstep() == 0) {
+      v.cid = ctx.id();
+      v.d = ctx.out_degree();
+      changed = true;
+    }
+    for (const Msg& m : messages) {
+      if (m.b > v.d || (m.b == v.d && m.a > v.cid)) {
+        v.cid = m.a;
+        v.d = m.b;
+        changed = true;
+      }
+    }
+    if (changed) ctx.SendToAllOutNeighbors(Msg{v.cid, v.d});
+    ctx.VoteToHalt();
+  });
+  // Sub-algorithm 2: BFS tree from each representative (level + parent).
+  engine.Reset();
+  engine.Run([&](E::Context& ctx, std::span<const Msg> messages) {
+    Value& v = ctx.value();
+    if (ctx.superstep() == 0 && v.cid == ctx.id()) {
+      v.dis = 0;
+      ctx.SendToAllOutNeighbors(Msg{ctx.id(), 1});
+    } else if (v.dis == -1 && !messages.empty()) {
+      v.dis = static_cast<int32_t>(messages[0].b);
+      v.p = messages[0].a;
+      ctx.SendToAllOutNeighbors(Msg{ctx.id(), messages[0].b + 1});
+    }
+    ctx.VoteToHalt();
+  });
+  // Driver data sharing: gather the whole tree, run the LCA-walk joins
+  // serially (what Pregel+'s glue code between sub-algorithms amounts to).
+  BillDataSharing(engine.metrics(), uint64_t{16} * graph->NumVertices(),
+                  options.num_workers);
+  const auto& values = engine.values();
+  Dsu dsu(graph->NumVertices());
+  graph->ForEachEdge([&](VertexId u, VertexId v, float) {
+    if (u <= v) return;
+    if (values[u].p == v || values[v].p == u) return;
+    VertexId a = u, b = v, prev = kInf32;
+    while (a != b) {
+      if (values[a].dis < values[b].dis) std::swap(a, b);
+      if (prev != kInf32) dsu.Union(prev, a);
+      prev = a;
+      a = values[a].p;
+    }
+  });
+  // LLOC-END
+  PregelBccResult result;
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    if (values[v].p != kInf32 && dsu.Find(v) == v) ++result.num_bcc;
+  }
+  result.metrics = engine.metrics();
+  return result;
+}
+
+PregelMsfResult Msf(const GraphPtr& graph, const PregelRunOptions& options) {
+  struct Value {
+    VertexId label = 0;
+    float best_w = 0;
+    VertexId best_u = kInf32;
+    VertexId best_v = kInf32;
+    VertexId best_other = kInf32;
+  };
+  struct Msg {
+    float w = 0;
+    VertexId u = 0, v = 0;
+    VertexId other = 0;
+  };
+  using E = Engine<Value, Msg>;
+  E engine(graph, MakeOptions<Value, Msg>(options));
+  PregelMsfResult result;
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    engine.values()[v].label = v;
+  }
+  // LLOC-BEGIN
+  // Boruvka rounds of three supersteps each: (0) everyone tells neighbours
+  // its component label; (1) every vertex reports its lightest cross-
+  // component edge to its component root; (2) roots pick the winner. The
+  // driver then merges components and broadcasts the relabeling — the
+  // Pregel+ chained-sub-algorithm data sharing the paper calls out.
+  while (true) {
+    engine.Reset();
+    engine.Run([&](E::Context& ctx, std::span<const Msg> messages) {
+      Value& v = ctx.value();
+      if (ctx.superstep() == 0) {
+        v.best_u = kInf32;
+        ctx.SendToAllOutNeighbors(Msg{0, ctx.id(), 0, v.label});
+      } else if (ctx.superstep() == 1) {
+        Msg best;
+        bool found = false;
+        auto nbrs = ctx.out_neighbors();
+        for (const Msg& m : messages) {
+          if (m.other == v.label) continue;
+          auto it = std::lower_bound(nbrs.begin(), nbrs.end(), m.u);
+          if (it == nbrs.end() || *it != m.u) continue;
+          float w = ctx.out_weight(static_cast<size_t>(it - nbrs.begin()));
+          if (!found || w < best.w ||
+              (w == best.w && std::min(ctx.id(), m.u) < std::min(best.u, best.v))) {
+            best = Msg{w, ctx.id(), m.u, m.other};
+            found = true;
+          }
+        }
+        if (found) ctx.SendTo(v.label, best);
+        ctx.VoteToHalt();
+      } else {  // Roots pick the minimum candidate.
+        for (const Msg& m : messages) {
+          if (v.best_u == kInf32 || m.w < v.best_w ||
+              (m.w == v.best_w && m.u < v.best_u)) {
+            v.best_w = m.w;
+            v.best_u = m.u;
+            v.best_v = m.v;
+            v.best_other = m.other;
+          }
+        }
+        ctx.VoteToHalt();
+      }
+    });
+    // Driver: gather chosen edges, merge labels, broadcast new labels. A
+    // component's pick is dropped when a cycle-closing pick (the mutual
+    // edge) already merged it.
+    auto& values = engine.values();
+    Dsu dsu(graph->NumVertices());
+    bool merged_any = false;
+    for (VertexId r = 0; r < graph->NumVertices(); ++r) {
+      Value& v = values[r];
+      if (v.label == r && v.best_u != kInf32) {
+        if (dsu.Union(v.label, v.best_other)) {
+          result.total_weight += v.best_w;
+          ++result.num_edges;
+          merged_any = true;
+        }
+        v.best_u = kInf32;
+      }
+    }
+    BillDataSharing(engine.metrics(), uint64_t{16} * graph->NumVertices(),
+                    options.num_workers);
+    if (!merged_any) break;
+    // Relabel every vertex to its merged component's root label.
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      values[v].label = dsu.Find(values[v].label);
+    }
+  }
+  // LLOC-END
+  result.metrics = engine.metrics();
+  return result;
+}
+
+}  // namespace flash::baselines::pregel

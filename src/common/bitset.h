@@ -1,0 +1,88 @@
+#ifndef FLASH_COMMON_BITSET_H_
+#define FLASH_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flash {
+
+/// Fixed-capacity dynamic bitset. Used as the dense representation of a
+/// vertexSubset and for the frontier bitmaps exchanged before a pull-mode
+/// EDGEMAP.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i) {
+    FLASH_DCHECK(i < num_bits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    FLASH_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    FLASH_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  /// In-place union / intersection / difference with another bitset of the
+  /// same capacity.
+  void UnionWith(const Bitset& other) {
+    FLASH_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+  void IntersectWith(const Bitset& other) {
+    FLASH_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+  void SubtractWith(const Bitset& other) {
+    FLASH_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// Calls fn(i) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_COMMON_BITSET_H_

@@ -1,0 +1,65 @@
+#ifndef FLASH_COMMON_DSU_H_
+#define FLASH_COMMON_DSU_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flash {
+
+/// Disjoint-set union (union-find) with path halving and union by size.
+///
+/// The paper exposes `dsu`, `dsu_find` and `dsu_union` as pre-defined helpers
+/// of the FLASH runtime, used by the BCC and MSF algorithms; this is that
+/// helper.
+class Dsu {
+ public:
+  Dsu() = default;
+  explicit Dsu(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Representative of x's set.
+  uint32_t Find(uint32_t x) {
+    FLASH_DCHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // Path halving.
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns true iff they were distinct.
+  bool Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Number of disjoint sets remaining.
+  size_t NumSets() {
+    size_t count = 0;
+    for (uint32_t i = 0; i < parent_.size(); ++i) {
+      if (Find(i) == i) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_COMMON_DSU_H_

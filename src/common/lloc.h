@@ -1,0 +1,53 @@
+#ifndef FLASH_COMMON_LLOC_H_
+#define FLASH_COMMON_LLOC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flash {
+
+/// Logical-lines-of-code counter in the spirit of the SLOC counting standard
+/// of Nguyen et al. (reference [27] of the paper), used to regenerate the
+/// productivity columns of Table I.
+///
+/// A logical line is a statement, not a physical line. After stripping
+/// comments and string/character literals we count:
+///   - every statement-terminating ';' (the three ';' inside a `for(...)`
+///     header collapse into the single logical line of the `for`),
+///   - every control-flow construct heading a block
+///     (if / else / for / while / do / switch / case / default),
+/// which matches how the paper counts "core function" logic while ignoring
+/// comments, blank lines and I/O boilerplate.
+struct LlocResult {
+  int logical_lines = 0;
+  int physical_lines = 0;   // Non-blank, non-comment physical lines.
+  int total_lines = 0;      // Raw newline count.
+};
+
+/// Counts logical lines in a C++ source string.
+LlocResult CountLloc(std::string_view source);
+
+/// Counts logical lines in a file on disk.
+Result<LlocResult> CountLlocFile(const std::string& path);
+
+/// Counts only the region of `source` between the first pair of markers
+/// "// LLOC-BEGIN" and "// LLOC-END" (both exclusive); if the markers are
+/// absent the whole source is counted. Algorithm sources use the markers to
+/// exclude #includes and registration boilerplate, mirroring the paper's
+/// "core functions only" rule.
+LlocResult CountLlocMarkedRegion(std::string_view source);
+
+/// Counts every marked region in `source`, in order of appearance. Files
+/// holding several algorithms (the baseline suites) carry one marked region
+/// per algorithm.
+std::vector<LlocResult> CountLlocMarkedRegions(std::string_view source);
+
+/// Per-region counts for a file on disk.
+Result<std::vector<LlocResult>> CountLlocFileRegions(const std::string& path);
+
+}  // namespace flash
+
+#endif  // FLASH_COMMON_LLOC_H_

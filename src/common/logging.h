@@ -1,0 +1,81 @@
+#ifndef FLASH_COMMON_LOGGING_H_
+#define FLASH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace flash {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level actually emitted (default kInfo). Not
+/// thread-synchronised by design: it is set once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace flash
+
+#define FLASH_LOG(level)                                                  \
+  ::flash::internal::LogMessage(::flash::LogLevel::k##level, __FILE__, __LINE__)
+
+/// CHECK-style invariant enforcement: programmer errors abort loudly.
+#define FLASH_CHECK(condition)                                            \
+  if (!(condition))                                                       \
+  FLASH_LOG(Fatal) << "Check failed: " #condition " "
+
+#define FLASH_CHECK_OK(expr)                                              \
+  do {                                                                    \
+    const ::flash::Status& _s = (expr);                                   \
+    FLASH_CHECK(_s.ok()) << _s.ToString();                                \
+  } while (0)
+
+#define FLASH_CHECK_EQ(a, b) FLASH_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FLASH_CHECK_NE(a, b) FLASH_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FLASH_CHECK_LT(a, b) FLASH_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FLASH_CHECK_LE(a, b) FLASH_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FLASH_CHECK_GT(a, b) FLASH_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FLASH_CHECK_GE(a, b) FLASH_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define FLASH_DCHECK(condition) FLASH_CHECK(condition)
+#else
+#define FLASH_DCHECK(condition) \
+  if (false) ::flash::internal::NullStream()
+#endif
+
+#endif  // FLASH_COMMON_LOGGING_H_

@@ -1,0 +1,133 @@
+#ifndef FLASH_COMMON_SERIALIZE_H_
+#define FLASH_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flash {
+
+/// Append-only byte sink. All inter-worker traffic in the simulated cluster
+/// is encoded through this writer so that communication volume is measured
+/// on real serialised bytes, exactly as an MPI transport would see them.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void Clear() { bytes_.clear(); }
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Release() { return std::move(bytes_); }
+
+  /// Exchanges contents with `other`, preserving both buffers' capacity
+  /// (the hot path of the per-superstep message exchange).
+  void SwapBytes(std::vector<uint8_t>& other) { bytes_.swap(other); }
+
+  void WriteRaw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  /// Fixed-width little-endian encoding of trivially copyable values.
+  template <typename T>
+  void WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "WritePod requires a trivially copyable type");
+    WriteRaw(&value, sizeof(T));
+  }
+
+  /// LEB128 variable-length encoding; small ids and counts dominate graph
+  /// message traffic, so this matters for measured byte volumes.
+  void WriteVarint(uint64_t value) {
+    while (value >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(value) | 0x80);
+      value >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(value));
+  }
+
+  void WriteString(const std::string& s) {
+    WriteVarint(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteVarint(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequential reader over a byte buffer produced by BufferWriter.
+/// Out-of-bounds reads are programmer errors and abort (FLASH_CHECK).
+class BufferReader {
+ public:
+  BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BufferReader(const std::vector<uint8_t>& bytes)
+      : BufferReader(bytes.data(), bytes.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  void ReadRaw(void* out, size_t n) {
+    FLASH_CHECK_LE(pos_ + n, size_) << "BufferReader overrun";
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T ReadPod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    ReadRaw(&value, sizeof(T));
+    return value;
+  }
+
+  uint64_t ReadVarint() {
+    uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      FLASH_CHECK_LT(pos_, size_) << "BufferReader varint overrun";
+      uint8_t byte = data_[pos_++];
+      value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      FLASH_CHECK_LE(shift, 63) << "varint too long";
+    }
+    return value;
+  }
+
+  std::string ReadString() {
+    size_t n = ReadVarint();
+    std::string s(n, '\0');
+    ReadRaw(s.data(), n);
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> ReadPodVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t n = ReadVarint();
+    std::vector<T> v(n);
+    if (n > 0) ReadRaw(v.data(), n * sizeof(T));
+    return v;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_COMMON_SERIALIZE_H_

@@ -1,0 +1,146 @@
+#ifndef FLASH_COMMON_STATUS_H_
+#define FLASH_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace flash {
+
+/// Error category for a failed operation. Modelled on the Arrow/RocksDB
+/// convention: library code never throws; fallible operations return a
+/// Status (or Result<T>) which the caller must consume.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status carries either success (cheap: a null pointer) or an error code
+/// plus message. Copyable and movable; moved-from Status is OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so copies are cheap; errors are immutable once constructed.
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value / Status so `return value;` and `return status;`
+  /// both work in functions returning Result<T>.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Checked only by the caller's discipline; use
+  /// ValueOrDie in tests.
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace flash
+
+/// Propagates a non-OK status to the caller.
+#define FLASH_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::flash::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a Result expression, propagating errors, else binds the value.
+#define FLASH_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto _res_##__LINE__ = (rexpr);            \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value()
+
+#endif  // FLASH_COMMON_STATUS_H_

@@ -1,0 +1,147 @@
+#ifndef FLASH_COMMON_THREAD_POOL_H_
+#define FLASH_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flash {
+
+/// A small fork-join pool providing ParallelFor over index ranges. Each
+/// simulated worker owns one pool (the paper's "c threads per process", with
+/// two of them notionally reserved for MPI send/recv — the transport here is
+/// in-memory, so all threads compute).
+///
+/// With num_threads == 1 everything runs inline on the caller thread; this is
+/// the default on single-core hosts and keeps execution deterministic.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) : num_threads_(num_threads) {
+    FLASH_CHECK_GE(num_threads, 1);
+    for (int i = 0; i + 1 < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Applies fn(i) to every i in [begin, end). Blocks until complete. The
+  /// range is split into contiguous chunks, one batch per thread, with
+  /// dynamic chunk stealing via an atomic cursor for load balance (skewed
+  /// degree distributions make static splits very unbalanced).
+  template <typename Fn>
+  void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t grain = 1024) {
+    if (end <= begin) return;
+    size_t n = end - begin;
+    if (num_threads_ == 1 || n <= grain) {
+      for (size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+    std::atomic<size_t> cursor{begin};
+    auto run_chunks = [&] {
+      while (true) {
+        size_t start = cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (start >= end) break;
+        size_t stop = std::min(start + grain, end);
+        for (size_t i = start; i < stop; ++i) fn(i);
+      }
+    };
+    RunOnAll(run_chunks);
+  }
+
+  /// Splits [begin, end) into exactly num_threads() contiguous shards and
+  /// runs fn(shard_index, shard_begin, shard_end), one shard per thread.
+  /// Used where each shard must accumulate into private buffers that the
+  /// caller merges deterministically afterwards.
+  template <typename Fn>
+  void ParallelShards(size_t begin, size_t end, Fn&& fn) {
+    const int shards = num_threads_;
+    if (shards == 1 || end <= begin) {
+      fn(0, begin, end);
+      return;
+    }
+    std::atomic<int> next_shard{0};
+    const size_t n = end - begin;
+    RunOnAll([&] {
+      int s = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards) return;
+      size_t lo = begin + n * static_cast<size_t>(s) / shards;
+      size_t hi = begin + n * static_cast<size_t>(s + 1) / shards;
+      fn(s, lo, hi);
+    });
+  }
+
+  /// Runs `task` once on every pool thread (including the caller) and waits.
+  void RunOnAll(const std::function<void()>& task) {
+    if (num_threads_ == 1) {
+      task();
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ = &task;
+      pending_ = static_cast<int>(threads_.size());
+      ++generation_;
+    }
+    wake_.notify_all();
+    task();  // Caller participates.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    while (true) {
+      const std::function<void()>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] {
+          return shutdown_ || (task_ != nullptr && generation_ != seen_generation);
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        task = task_;
+      }
+      (*task)();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void()>* task_ = nullptr;
+  int pending_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_COMMON_THREAD_POOL_H_

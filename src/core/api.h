@@ -1,0 +1,41 @@
+#ifndef FLASH_CORE_API_H_
+#define FLASH_CORE_API_H_
+
+/// Umbrella header for the public FLASH programming interface.
+///
+/// A FLASH program declares a vertex-data struct reflected with
+/// FLASH_FIELDS, instantiates GraphApi<VData> over a Graph, and chains the
+/// primitives VERTEXMAP / EDGEMAP / EDGEMAPDENSE / EDGEMAPSPARSE / SIZE with
+/// ordinary C++ control flow:
+///
+///   struct BfsData {
+///     uint32_t dis = kInfDist;
+///     FLASH_FIELDS(dis)
+///   };
+///
+///   GraphApi<BfsData> fl(graph, options);
+///   auto U = fl.VertexMap(fl.V(), CTrue,
+///                         [&](BfsData& v, VertexId id) {
+///                           v.dis = (id == root) ? 0 : kInfDist;
+///                         });
+///   U = fl.VertexMap(fl.V(), [&](const BfsData&, VertexId id) {
+///     return id == root;
+///   });
+///   while (fl.Size(U) != 0) {
+///     U = fl.EdgeMap(
+///         U, fl.E(), CTrue,
+///         [](const BfsData& s, BfsData& d) { d.dis = s.dis + 1; },
+///         [](const BfsData& d) { return d.dis == kInfDist; },
+///         [](const BfsData& t, BfsData& d) { d = t; });
+///   }
+
+#include "common/dsu.h"
+#include "common/fields.h"
+#include "core/detail.h"
+#include "core/edge_set.h"
+#include "core/engine.h"
+#include "core/vertex_subset.h"
+#include "flashware/options.h"
+#include "graph/graph.h"
+
+#endif  // FLASH_CORE_API_H_

@@ -1,0 +1,742 @@
+#ifndef FLASH_CORE_ENGINE_H_
+#define FLASH_CORE_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/fields.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/detail.h"
+#include "core/edge_set.h"
+#include "core/vertex_subset.h"
+#include "flashware/message_bus.h"
+#include "flashware/metrics.h"
+#include "flashware/options.h"
+#include "flashware/vertex_store.h"
+#include "graph/partition.h"
+
+namespace flash {
+
+/// GraphApi<VData> is the FLASH programming interface (paper §III) bound to
+/// a simulated distributed runtime (paper §IV). VData is the user's
+/// vertex-property struct, reflected with FLASH_FIELDS.
+///
+/// The runtime executes BSP supersteps over `num_workers` partitions: each
+/// primitive (VERTEXMAP / EDGEMAPDENSE / EDGEMAPSPARSE / SIZE / global
+/// reductions) is one superstep ending in a barrier that
+///   1. promotes `next` states of dirty masters to `current`, and
+///   2. ships the critical fields of each updated master to the workers
+///      that mirror it (neighbour-mask or broadcast, §IV-C).
+/// All inter-worker traffic flows byte-serialised through a MessageBus so
+/// message/byte counts equal what an MPI wire would carry.
+template <typename VData>
+class GraphApi {
+ public:
+  using EdgeSetRef = EdgeSetPtr<VData>;
+
+  explicit GraphApi(GraphPtr graph, RuntimeOptions options = RuntimeOptions{})
+      : graph_(std::move(graph)),
+        options_(options),
+        partition_(MakePartitionOrDie(graph_, options)),
+        bus_(options.num_workers),
+        pool_(options.threads_per_worker),
+        critical_mask_(AllFieldsMask<VData>()) {
+    FLASH_CHECK(graph_ != nullptr);
+    stores_.reserve(options_.num_workers);
+    for (int w = 0; w < options_.num_workers; ++w) {
+      stores_.emplace_back(graph_->NumVertices());
+    }
+    forward_ = std::make_shared<internal::CsrEdgeSet<VData>>(graph_, false);
+    reverse_ = std::make_shared<internal::CsrEdgeSet<VData>>(graph_, true);
+  }
+
+  GraphApi(const GraphApi&) = delete;
+  GraphApi& operator=(const GraphApi&) = delete;
+
+  // --- introspection -------------------------------------------------------
+
+  const Graph& graph() const { return *graph_; }
+  GraphPtr graph_ptr() const { return graph_; }
+  const Partition& partition() const { return partition_; }
+  const RuntimeOptions& options() const { return options_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  VertexId NumVertices() const { return graph_->NumVertices(); }
+  EdgeId NumEdges() const { return graph_->NumEdges(); }
+  uint32_t OutDeg(VertexId v) const { return graph_->OutDegree(v); }
+  uint32_t InDeg(VertexId v) const { return graph_->InDegree(v); }
+  uint32_t Deg(VertexId v) const { return graph_->Degree(v); }
+
+  // --- configuration -------------------------------------------------------
+
+  /// Declares which reflected fields are critical (read or written across
+  /// workers — Table II). Only these are synchronised to mirrors; the rest
+  /// stay master-local. Defaults to all fields.
+  void SetCriticalFields(std::initializer_list<int> field_indices) {
+    uint32_t mask = 0;
+    for (int i : field_indices) {
+      FLASH_CHECK(i >= 0 && i < VData::kNumFields);
+      mask |= 1u << i;
+    }
+    critical_mask_ = mask;
+  }
+  void SetCriticalMaskBits(uint32_t mask) { critical_mask_ = mask; }
+  uint32_t critical_mask() const { return critical_mask_; }
+
+  /// Declares that this program communicates beyond the original edge set E
+  /// (virtual edge sets, two-hop joins, or arbitrary Read()s). Masters then
+  /// synchronise to mirrors in *all* partitions (paper §IV-C); required
+  /// before using any EdgeSet with is_subset_of_e() == false.
+  void DeclareVirtualEdges() { virtual_edges_ = true; }
+  bool virtual_edges_declared() const { return virtual_edges_; }
+
+  /// Forces push/pull/adaptive for subsequent EDGEMAP calls.
+  void SetEdgeMapMode(EdgeMapMode mode) { options_.edgemap_mode = mode; }
+
+  // --- vertex data access --------------------------------------------------
+
+  /// FLASHWARE's get(): the consistent current state of any vertex, read
+  /// from the replica of the worker currently executing (authoritative for
+  /// masters; mirror copy otherwise). Callable from inside user functions.
+  const VData& Read(VertexId v) const {
+    return stores_[current_worker_].Current(v);
+  }
+
+  /// Authoritative copy of every vertex's state (taken from each owner).
+  /// Intended for result extraction after the algorithm finishes.
+  std::vector<VData> GatherMasters() const {
+    std::vector<VData> out(graph_->NumVertices());
+    for (int w = 0; w < options_.num_workers; ++w) {
+      for (VertexId v : partition_.OwnedVertices(w)) {
+        out[v] = stores_[w].Current(v);
+      }
+    }
+    return out;
+  }
+
+  /// Extracts fn(state, id) per vertex from the owners' states.
+  template <typename T, typename Fn>
+  std::vector<T> ExtractResults(Fn&& fn) const {
+    std::vector<T> out(graph_->NumVertices());
+    for (int w = 0; w < options_.num_workers; ++w) {
+      for (VertexId v : partition_.OwnedVertices(w)) {
+        out[v] = fn(stores_[w].Current(v), v);
+      }
+    }
+    return out;
+  }
+
+  // --- vertexSubset constructors & auxiliary operators ----------------------
+
+  VertexSubset V() const {
+    return VertexSubset::All(&partition_, graph_->NumVertices());
+  }
+  VertexSubset None() const { return VertexSubset(&partition_); }
+  VertexSubset Single(VertexId v) const {
+    return VertexSubset::Single(&partition_, v);
+  }
+
+  /// The SIZE primitive: |U|. Bills the all-reduce that a distributed SIZE
+  /// performs (one superstep, paper §III-A).
+  size_t Size(const VertexSubset& U) {
+    AccountAggregate(sizeof(uint64_t), U.TotalSize());
+    return U.TotalSize();
+  }
+
+  VertexSubset Union(const VertexSubset& a, const VertexSubset& b) const {
+    return VertexSubset::Union(a, b);
+  }
+  VertexSubset Minus(const VertexSubset& a, const VertexSubset& b) const {
+    return VertexSubset::Minus(a, b);
+  }
+  VertexSubset Intersect(const VertexSubset& a, const VertexSubset& b) const {
+    return VertexSubset::Intersect(a, b);
+  }
+  bool Contains(const VertexSubset& U, VertexId v) const {
+    return U.Contains(v);
+  }
+
+  // --- edge sets ------------------------------------------------------------
+
+  /// E: the graph's edges.
+  EdgeSetRef E() const { return forward_; }
+  /// reverse(E).
+  EdgeSetRef ReverseE() const { return reverse_; }
+  /// join(E, E): two-hop neighbours.
+  EdgeSetRef TwoHop() const {
+    return std::make_shared<internal::TwoHopEdgeSet<VData>>(graph_);
+  }
+  /// join(H, U): H's edges whose *target* lies in U. U's dense bitmap is
+  /// materialised (billing the frontier all-gather) and captured; U must
+  /// outlive the returned set.
+  EdgeSetRef Join(EdgeSetRef base, const VertexSubset& U) {
+    const Bitset& bits = DenseBitmapBilled(U);
+    return std::make_shared<internal::FilteredEdgeSet<VData>>(
+        std::move(base), &bits, /*filter_target=*/true);
+  }
+  /// join(U, H): H's edges whose *source* lies in U.
+  EdgeSetRef JoinSources(const VertexSubset& U, EdgeSetRef base) {
+    const Bitset& bits = DenseBitmapBilled(U);
+    return std::make_shared<internal::FilteredEdgeSet<VData>>(
+        std::move(base), &bits, /*filter_target=*/false);
+  }
+  /// Virtual edges in the push direction: gen(src_state, src, emit) calls
+  /// emit(dst, weight) per edge, e.g. join(U, p) is
+  ///   OutFn([](const D& s, VertexId, auto& emit) { emit(s.p, 1.0f); }).
+  /// Requires DeclareVirtualEdges().
+  EdgeSetRef OutFn(typename internal::OutFnEdgeSet<VData>::Generator gen,
+                   uint64_t degree_hint = 1) const {
+    return std::make_shared<internal::OutFnEdgeSet<VData>>(std::move(gen),
+                                                           degree_hint);
+  }
+  /// Virtual edges in the pull direction: gen(dst_state, dst, emit) calls
+  /// emit(src, weight) per in-edge, e.g. join(p, U) is
+  ///   InFn([](const D& d, VertexId, auto& emit) { emit(d.p, 1.0f); }).
+  EdgeSetRef InFn(typename internal::InFnEdgeSet<VData>::Generator gen) const {
+    return std::make_shared<internal::InFnEdgeSet<VData>>(std::move(gen));
+  }
+
+  // --- primitives -----------------------------------------------------------
+
+  /// VERTEXMAP(U, F): pure filter — Out = {v in U : F(v)}. One superstep.
+  template <typename F>
+  VertexSubset VertexMap(const VertexSubset& U, F&& f) {
+    return VertexMapImpl(U, std::forward<F>(f), internal::NoMap{});
+  }
+
+  /// VERTEXMAP(U, F, M): applies M to every vertex of U passing F; Out is
+  /// the set of passing vertices. One superstep.
+  template <typename F, typename M>
+  VertexSubset VertexMap(const VertexSubset& U, F&& f, M&& m) {
+    return VertexMapImpl(U, std::forward<F>(f), std::forward<M>(m));
+  }
+
+  /// EDGEMAP(U, H, F, M, C, R): density-adaptive dispatch between the pull
+  /// (dense) and push (sparse) kernels, Algorithm 4 of the paper.
+  template <typename F, typename M, typename C, typename R>
+  VertexSubset EdgeMap(const VertexSubset& U, EdgeSetRef H, F&& f, M&& m,
+                       C&& c, R&& r) {
+    bool use_dense = false;
+    switch (options_.edgemap_mode) {
+      case EdgeMapMode::kPush:
+        use_dense = false;
+        break;
+      case EdgeMapMode::kPull:
+        use_dense = true;
+        break;
+      case EdgeMapMode::kAdaptive: {
+        uint64_t frontier_work = U.TotalSize();
+        for (int w = 0; w < options_.num_workers; ++w) {
+          for (VertexId v : U.Owned(w)) frontier_work += H->OutDegreeHint(v);
+        }
+        use_dense = static_cast<double>(frontier_work) >
+                    static_cast<double>(graph_->NumEdges()) /
+                        options_.dense_threshold;
+        break;
+      }
+    }
+    if (!H->supports_pull()) use_dense = false;
+    if (!H->supports_push()) use_dense = true;
+    if (use_dense) {
+      return EdgeMapDense(U, std::move(H), std::forward<F>(f),
+                          std::forward<M>(m), std::forward<C>(c));
+    }
+    return EdgeMapSparse(U, std::move(H), std::forward<F>(f),
+                         std::forward<M>(m), std::forward<C>(c),
+                         std::forward<R>(r));
+  }
+
+  /// EDGEMAPDENSE (pull, Algorithm 5): every worker scans its own masters v
+  /// and folds in qualifying in-edges from U sequentially; no reduce needed.
+  template <typename F, typename M, typename C>
+  VertexSubset EdgeMapDense(const VertexSubset& U, EdgeSetRef H, F&& f, M&& m,
+                            C&& c) {
+    CheckEdgeSet(*H, /*need_pull=*/true);
+    StepSample sample;
+    sample.kind = StepKind::kEdgeMapDense;
+    sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
+    const Bitset& ubits = DenseBitmap(U, &sample);
+
+    std::vector<std::vector<VertexId>> out(options_.num_workers);
+    {
+      ScopedTimer compute_timer(&metrics_.compute_seconds);
+      for (int w = 0; w < options_.num_workers; ++w) {
+        Timer worker_timer;
+        current_worker_ = w;
+        VertexStore<VData>& store = stores_[w];
+        const auto& targets = partition_.OwnedVertices(w);
+        const int shards = pool_.num_threads();
+        std::vector<std::vector<VertexId>> shard_out(shards);
+        std::vector<std::vector<VertexId>> shard_dirty(shards);
+        std::vector<uint64_t> shard_edges(shards, 0);
+        pool_.ParallelShards(0, targets.size(), [&](int s, size_t lo,
+                                                    size_t hi) {
+          VData vnew;
+          for (size_t i = lo; i < hi; ++i) {
+            VertexId v = targets[i];
+            const VData& dcur = store.Current(v);
+            if (!internal::InvokeCond(c, dcur, v)) continue;
+            bool touched = false;
+            H->ForIn(v, store, [&](VertexId src, float weight) -> bool {
+              ++shard_edges[s];
+              if (touched && !internal::InvokeCond(c, vnew, v)) return false;
+              if (!ubits.Test(src)) return true;
+              const VData& scur = store.Current(src);
+              const VData& dview = touched ? vnew : dcur;
+              if (internal::InvokeEdgeF(f, scur, dview, src, v, weight)) {
+                if (!touched) {
+                  vnew = dcur;
+                  touched = true;
+                }
+                internal::InvokeEdgeM(m, scur, vnew, src, v, weight);
+              }
+              return true;
+            });
+            if (touched) {
+              VData& next = store.MutableNext(v, shard_dirty[s]);
+              next = std::move(vnew);
+              shard_out[s].push_back(v);
+            }
+          }
+        });
+        uint64_t worker_edges = 0;
+        for (int s = 0; s < shards; ++s) {
+          worker_edges += shard_edges[s];
+          AppendTo(out[w], shard_out[s]);
+          store.AppendDirty(std::move(shard_dirty[s]));
+        }
+        sample.edges_total += worker_edges;
+        sample.edges_max = std::max(sample.edges_max, worker_edges);
+        sample.verts_total += targets.size();
+        sample.verts_max = std::max<uint64_t>(sample.verts_max, targets.size());
+        double seconds = worker_timer.Seconds();
+        sample.comp_total += seconds;
+        sample.comp_max = std::max(sample.comp_max, seconds);
+      }
+    }
+    return FinishStep(std::move(out), sample);
+  }
+
+  /// EDGEMAPSPARSE (push, Algorithm 6): frontier masters push M-values to
+  /// target owners (serialised vertex messages); owners fold them with the
+  /// associative & commutative R; the barrier then syncs mirrors — the
+  /// paper's two communication rounds.
+  template <typename F, typename M, typename C, typename R>
+  VertexSubset EdgeMapSparse(const VertexSubset& U, EdgeSetRef H, F&& f,
+                             M&& m, C&& c, R&& r) {
+    CheckEdgeSet(*H, /*need_pull=*/false);
+    StepSample sample;
+    sample.kind = StepKind::kEdgeMapSparse;
+    sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
+    const uint32_t mask = SyncMask();
+    const int num_workers = options_.num_workers;
+
+    // Round 1 compute: produce per-destination update buffers. Updates to
+    // a worker's own masters skip serialisation entirely on the
+    // single-thread path (a real worker updates local memory directly; only
+    // cross-worker updates hit the wire).
+    std::vector<std::vector<uint8_t>> local_updates(num_workers);
+    std::vector<std::vector<VertexId>> out(num_workers);
+    std::vector<double> worker_seconds(num_workers, 0);
+    {
+      ScopedTimer compute_timer(&metrics_.compute_seconds);
+      for (int w = 0; w < num_workers; ++w) {
+        Timer worker_timer;
+        current_worker_ = w;
+        VertexStore<VData>& store = stores_[w];
+        const auto& frontier = U.Owned(w);
+        const int shards = pool_.num_threads();
+        const bool direct_local = (shards == 1);
+        std::vector<VertexId> local_dirty;
+        uint64_t local_applied = 0;
+        // Engine-owned scratch: reallocation-free across supersteps.
+        if (sparse_scratch_.size() != static_cast<size_t>(shards)) {
+          sparse_scratch_.assign(
+              shards, std::vector<BufferWriter>(num_workers));
+        }
+        auto& shard_buf = sparse_scratch_;
+        for (auto& row : shard_buf) {
+          for (BufferWriter& buf : row) buf.Clear();
+        }
+        std::vector<std::vector<uint64_t>> shard_msgs(
+            shards, std::vector<uint64_t>(num_workers, 0));
+        std::vector<uint64_t> shard_edges(shards, 0);
+        pool_.ParallelShards(0, frontier.size(), [&](int s, size_t lo,
+                                                     size_t hi) {
+          VData tmp;
+          for (size_t i = lo; i < hi; ++i) {
+            VertexId u = frontier[i];
+            const VData& scur = store.Current(u);
+            H->ForOut(u, store, [&](VertexId dst, float weight) {
+              ++shard_edges[s];
+              const VData& dcur = store.Current(dst);
+              if (!internal::InvokeCond(c, dcur, dst)) return;
+              if (!internal::InvokeEdgeF(f, scur, dcur, u, dst, weight)) {
+                return;
+              }
+              tmp = dcur;
+              internal::InvokeEdgeM(m, scur, tmp, u, dst, weight);
+              int owner = partition_.Owner(dst);
+              if (owner == w && direct_local) {
+                bool first = !store.IsDirty(dst);
+                VData& next = store.MutableNext(dst, local_dirty);
+                r(tmp, next);
+                if (first) out[w].push_back(dst);
+                ++local_applied;
+                return;
+              }
+              BufferWriter& buf = shard_buf[s][owner];
+              buf.WriteVarint(dst);
+              SerializeFields(tmp, mask, buf);
+              ++shard_msgs[s][owner];
+            });
+          }
+        });
+        store.AppendDirty(std::move(local_dirty));
+        uint64_t worker_edges = 0;
+        for (int s = 0; s < shards; ++s) {
+          worker_edges += shard_edges[s];
+          for (int dst = 0; dst < num_workers; ++dst) {
+            BufferWriter& buf = shard_buf[s][dst];
+            if (buf.empty()) continue;
+            if (dst == w) {
+              auto& sink = local_updates[w];
+              sink.insert(sink.end(), buf.bytes().begin(), buf.bytes().end());
+            } else {
+              bus_.Channel(w, dst).WriteRaw(buf.bytes().data(), buf.size());
+              bus_.CountMessages(shard_msgs[s][dst]);
+            }
+            buf.Clear();
+          }
+        }
+        sample.edges_total += worker_edges;
+        sample.edges_max = std::max(sample.edges_max, worker_edges);
+        sample.verts_total += local_applied;
+        worker_seconds[w] += worker_timer.Seconds();
+      }
+    }
+
+    // Round 1 exchange + owner-side reduce.
+    {
+      ScopedTimer comm_timer(&metrics_.comm_seconds);
+      bus_.Exchange();
+      sample.bytes_total += bus_.LastTotalBytes();
+      sample.bytes_max += bus_.LastMaxWorkerBytes();
+      sample.msgs_total += bus_.LastMessages();
+    }
+    {
+      ScopedTimer compute_timer(&metrics_.compute_seconds);
+      for (int w = 0; w < num_workers; ++w) {
+        Timer worker_timer;
+        current_worker_ = w;
+        uint64_t applied = 0;
+        applied += ApplyUpdates(w, local_updates[w], mask, r, out[w]);
+        for (int src = 0; src < num_workers; ++src) {
+          if (src == w) continue;
+          applied += ApplyUpdates(w, bus_.Incoming(w, src), mask, r, out[w]);
+        }
+        sample.verts_total += applied;
+        sample.verts_max = std::max(sample.verts_max, applied);
+        worker_seconds[w] += worker_timer.Seconds();
+      }
+    }
+    for (int w = 0; w < num_workers; ++w) {
+      sample.comp_total += worker_seconds[w];
+      sample.comp_max = std::max(sample.comp_max, worker_seconds[w]);
+    }
+    return FinishStep(std::move(out), sample);
+  }
+
+  // --- global aggregation ----------------------------------------------------
+
+  /// Folds map(state, id) over U with the commutative/associative `reduce`;
+  /// bills one all-reduce superstep.
+  template <typename T, typename Map, typename Red>
+  T Reduce(const VertexSubset& U, T init, Map&& map, Red&& reduce) {
+    T acc = init;
+    {
+      ScopedTimer compute_timer(&metrics_.compute_seconds);
+      for (int w = 0; w < options_.num_workers; ++w) {
+        current_worker_ = w;
+        for (VertexId v : U.Owned(w)) {
+          acc = reduce(acc, map(stores_[w].Current(v), v));
+        }
+      }
+    }
+    AccountAggregate(sizeof(T), U.TotalSize());
+    return acc;
+  }
+
+  /// The paper's auxiliary REDUCE operator for gathering worker-local
+  /// results (e.g. the local MSFs of the distributed Kruskal): concatenates
+  /// per-worker vectors, billing the gather traffic.
+  template <typename T>
+  std::vector<T> AllGather(const std::vector<std::vector<T>>& per_worker) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> all;
+    uint64_t bytes = 0;
+    uint64_t max_bytes = 0;
+    for (const auto& part : per_worker) {
+      all.insert(all.end(), part.begin(), part.end());
+      uint64_t b = part.size() * sizeof(T);
+      bytes += b * (options_.num_workers - 1);
+      max_bytes = std::max(max_bytes, b * (options_.num_workers - 1));
+    }
+    StepSample sample;
+    sample.kind = StepKind::kAggregate;
+    if (options_.num_workers > 1) {
+      sample.bytes_total = bytes;
+      sample.bytes_max = max_bytes;
+      sample.msgs_total = static_cast<uint64_t>(options_.num_workers) *
+                          (options_.num_workers - 1);
+    }
+    metrics_.AddStep(sample, options_.record_trace);
+    return all;
+  }
+
+  /// Runs fn(worker) for every worker with the Read() context set — the
+  /// hook used by algorithms with a worker-local sequential stage (MSF's
+  /// local Kruskal, BCC's tree-join).
+  template <typename Fn>
+  void ForEachWorker(Fn&& fn) {
+    ScopedTimer compute_timer(&metrics_.compute_seconds);
+    for (int w = 0; w < options_.num_workers; ++w) {
+      current_worker_ = w;
+      fn(w);
+    }
+  }
+
+ private:
+  static Partition MakePartitionOrDie(const GraphPtr& graph,
+                                      const RuntimeOptions& options) {
+    auto result =
+        Partition::Create(graph, options.num_workers, options.partition);
+    FLASH_CHECK(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  static void AppendTo(std::vector<VertexId>& sink,
+                       const std::vector<VertexId>& chunk) {
+    sink.insert(sink.end(), chunk.begin(), chunk.end());
+  }
+
+  uint32_t SyncMask() const {
+    return options_.sync_critical_only ? critical_mask_
+                                       : AllFieldsMask<VData>();
+  }
+
+  void CheckEdgeSet(const EdgeSet<VData>& set, bool need_pull) const {
+    if (need_pull) {
+      FLASH_CHECK(set.supports_pull())
+          << "edge set does not support pull-mode (EDGEMAPDENSE)";
+    } else {
+      FLASH_CHECK(set.supports_push())
+          << "edge set does not support push-mode (EDGEMAPSPARSE)";
+    }
+    if (!set.is_subset_of_e() && options_.necessary_mirrors_only) {
+      FLASH_CHECK(virtual_edges_)
+          << "this EDGEMAP communicates beyond the neighbourhood of E; call "
+             "DeclareVirtualEdges() so mirrors in all partitions stay "
+             "consistent (paper IV-C)";
+    }
+  }
+
+  /// Dense bitmap of U; bills the frontier all-gather on first
+  /// materialisation (each worker broadcasts its membership words).
+  const Bitset& DenseBitmap(const VertexSubset& U, StepSample* sample) {
+    bool already = U.dense_materialized();
+    const Bitset& bits = U.EnsureDense(graph_->NumVertices());
+    if (!already && options_.num_workers > 1) {
+      uint64_t bitmap_bytes = (graph_->NumVertices() + 7) / 8;
+      uint64_t total =
+          bitmap_bytes * static_cast<uint64_t>(options_.num_workers - 1);
+      if (sample != nullptr) {
+        sample->bytes_total += total;
+        sample->bytes_max += bitmap_bytes;
+        sample->msgs_total += static_cast<uint64_t>(options_.num_workers) *
+                              (options_.num_workers - 1);
+      }
+    }
+    return bits;
+  }
+
+  const Bitset& DenseBitmapBilled(const VertexSubset& U) {
+    StepSample sample;
+    sample.kind = StepKind::kAggregate;
+    bool already = U.dense_materialized();
+    const Bitset& bits = DenseBitmap(U, &sample);
+    if (!already && options_.num_workers > 1) {
+      metrics_.AddStep(sample, options_.record_trace);
+    }
+    return bits;
+  }
+
+  void AccountAggregate(uint64_t element_bytes, uint64_t verts) {
+    StepSample sample;
+    sample.kind = StepKind::kAggregate;
+    sample.verts_total = verts;
+    if (options_.num_workers > 1) {
+      uint64_t pairs = static_cast<uint64_t>(options_.num_workers) *
+                       (options_.num_workers - 1);
+      sample.bytes_total = element_bytes * pairs;
+      sample.bytes_max = element_bytes * (options_.num_workers - 1);
+      sample.msgs_total = pairs;
+    }
+    metrics_.AddStep(sample, options_.record_trace);
+  }
+
+  /// Owner-side fold of one serialised update buffer (sparse round 1).
+  /// Returns the number of updates applied; first-touch targets are appended
+  /// to `out`.
+  template <typename R>
+  uint64_t ApplyUpdates(int w, const std::vector<uint8_t>& buffer,
+                        uint32_t mask, R&& r, std::vector<VertexId>& out) {
+    if (buffer.empty()) return 0;
+    VertexStore<VData>& store = stores_[w];
+    std::vector<VertexId> dirty;
+    BufferReader reader(buffer);
+    uint64_t applied = 0;
+    while (!reader.AtEnd()) {
+      VertexId v = static_cast<VertexId>(reader.ReadVarint());
+      FLASH_DCHECK(partition_.Owner(v) == w);
+      // Rebuild the sender's tmp value: non-critical fields are the owner's
+      // authoritative ones, critical fields come from the wire.
+      VData tmp = store.Current(v);
+      DeserializeFields(tmp, mask, reader);
+      bool first = !store.IsDirty(v);
+      VData& next = store.MutableNext(v, dirty);
+      r(tmp, next);
+      if (first) out.push_back(v);
+      ++applied;
+    }
+    store.AppendDirty(std::move(dirty));
+    return applied;
+  }
+
+  /// VERTEXMAP implementation; M may be internal::NoMap for filter-only.
+  template <typename F, typename M>
+  VertexSubset VertexMapImpl(const VertexSubset& U, F&& f, M&& m) {
+    constexpr bool kHasMap = !std::is_same_v<std::decay_t<M>, internal::NoMap>;
+    StepSample sample;
+    sample.kind = StepKind::kVertexMap;
+    sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
+
+    std::vector<std::vector<VertexId>> out(options_.num_workers);
+    {
+      ScopedTimer compute_timer(&metrics_.compute_seconds);
+      for (int w = 0; w < options_.num_workers; ++w) {
+        Timer worker_timer;
+        current_worker_ = w;
+        VertexStore<VData>& store = stores_[w];
+        const auto& owned = U.Owned(w);
+        const int shards = pool_.num_threads();
+        std::vector<std::vector<VertexId>> shard_out(shards);
+        std::vector<std::vector<VertexId>> shard_dirty(shards);
+        pool_.ParallelShards(0, owned.size(), [&](int s, size_t lo,
+                                                  size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            VertexId v = owned[i];
+            const VData& cur = store.Current(v);
+            if (!internal::InvokeVertexF(f, cur, v)) continue;
+            shard_out[s].push_back(v);
+            if constexpr (kHasMap) {
+              VData& next = store.MutableNext(v, shard_dirty[s]);
+              internal::InvokeVertexM(m, next, v);
+            }
+          }
+        });
+        for (int s = 0; s < shards; ++s) {
+          AppendTo(out[w], shard_out[s]);
+          store.AppendDirty(std::move(shard_dirty[s]));
+        }
+        sample.verts_total += owned.size();
+        sample.verts_max = std::max<uint64_t>(sample.verts_max, owned.size());
+        double seconds = worker_timer.Seconds();
+        sample.comp_total += seconds;
+        sample.comp_max = std::max(sample.comp_max, seconds);
+      }
+    }
+    return FinishStep(std::move(out), sample);
+  }
+
+  /// The BSP barrier ending every primitive: commit dirty masters, ship
+  /// their critical fields to the mirrors that need them, deliver, account.
+  VertexSubset FinishStep(std::vector<std::vector<VertexId>> out,
+                          StepSample sample) {
+    const uint32_t mask = SyncMask();
+    const int num_workers = options_.num_workers;
+    const bool broadcast = virtual_edges_ || !options_.necessary_mirrors_only;
+    const uint64_t all_workers_mask =
+        num_workers >= 64 ? ~uint64_t{0} : ((uint64_t{1} << num_workers) - 1);
+
+    {
+      ScopedTimer ser_timer(&metrics_.serialize_seconds);
+      for (int w = 0; w < num_workers; ++w) {
+        stores_[w].Commit([&](VertexId v, const VData& value) {
+          uint64_t targets = broadcast
+                                 ? (all_workers_mask & ~(uint64_t{1} << w))
+                                 : partition_.MirrorMask(v);
+          while (targets != 0) {
+            int dst = __builtin_ctzll(targets);
+            targets &= targets - 1;
+            BufferWriter& channel = bus_.Channel(w, dst);
+            channel.WriteVarint(v);
+            SerializeFields(value, mask, channel);
+            bus_.CountMessages();
+          }
+        });
+      }
+    }
+    {
+      ScopedTimer comm_timer(&metrics_.comm_seconds);
+      bus_.Exchange();
+      for (int w = 0; w < num_workers; ++w) {
+        for (int src = 0; src < num_workers; ++src) {
+          if (src == w) continue;
+          const auto& buffer = bus_.Incoming(w, src);
+          if (buffer.empty()) continue;
+          BufferReader reader(buffer);
+          while (!reader.AtEnd()) {
+            VertexId v = static_cast<VertexId>(reader.ReadVarint());
+            stores_[w].ApplyMirror(v, mask, reader);
+          }
+        }
+      }
+    }
+    sample.bytes_total += bus_.LastTotalBytes();
+    sample.bytes_max += bus_.LastMaxWorkerBytes();
+    sample.msgs_total += bus_.LastMessages();
+
+    VertexSubset result =
+        VertexSubset::FromWorkerLists(&partition_, std::move(out));
+    sample.frontier_out = static_cast<uint32_t>(result.TotalSize());
+    metrics_.AddStep(sample, options_.record_trace);
+    return result;
+  }
+
+  GraphPtr graph_;
+  RuntimeOptions options_;
+  Partition partition_;
+  MessageBus bus_;
+  ThreadPool pool_;
+  std::vector<VertexStore<VData>> stores_;
+  Metrics metrics_;
+  uint32_t critical_mask_;
+  bool virtual_edges_ = false;
+  int current_worker_ = 0;
+  EdgeSetRef forward_;
+  EdgeSetRef reverse_;
+  // Scratch buffers reused by EDGEMAPSPARSE (workers run sequentially, so
+  // one set serves all of them).
+  std::vector<std::vector<BufferWriter>> sparse_scratch_;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_CORE_ENGINE_H_

@@ -1,0 +1,74 @@
+#ifndef FLASH_CORE_SET_OPS_H_
+#define FLASH_CORE_SET_OPS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flash {
+
+/// Sorted-vector set helpers — the paper's auxiliary operators (INTERSACT,
+/// ADD, UNION over per-vertex sets) that FLASH provides so algorithms like
+/// TC/RC/CL stay a handful of lines. All inputs/outputs are ascending and
+/// duplicate-free.
+
+/// Inserts v keeping the vector sorted (no-op if already present).
+inline void SortedInsert(std::vector<VertexId>& set, VertexId v) {
+  auto it = std::lower_bound(set.begin(), set.end(), v);
+  if (it == set.end() || *it != v) set.insert(it, v);
+}
+
+/// True iff v is in the sorted set.
+inline bool SortedContains(const std::vector<VertexId>& set, VertexId v) {
+  return std::binary_search(set.begin(), set.end(), v);
+}
+
+/// |a ∩ b| for sorted sets.
+inline uint64_t SortedIntersectSize(const std::vector<VertexId>& a,
+                                    const std::vector<VertexId>& b) {
+  uint64_t n = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++n;
+      ++ia;
+      ++ib;
+    }
+  }
+  return n;
+}
+
+/// a ∩ b for sorted sets.
+inline std::vector<VertexId> SortedIntersect(const std::vector<VertexId>& a,
+                                             const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// a ∪ b into a fresh sorted set.
+inline std::vector<VertexId> SortedUnion(const std::vector<VertexId>& a,
+                                         const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// Merges b into a (in place, stays sorted/unique).
+inline void SortedUnionInto(std::vector<VertexId>& a,
+                            const std::vector<VertexId>& b) {
+  std::vector<VertexId> merged = SortedUnion(a, b);
+  a = std::move(merged);
+}
+
+}  // namespace flash
+
+#endif  // FLASH_CORE_SET_OPS_H_

@@ -1,0 +1,40 @@
+#include "flashware/message_bus.h"
+
+#include <algorithm>
+
+namespace flash {
+
+uint64_t MessageBus::Exchange() {
+  // Fixed-size scratch; reallocation-free across supersteps.
+  sent_scratch_.assign(num_workers_, 0);
+  recv_scratch_.assign(num_workers_, 0);
+  std::vector<uint64_t>& sent = sent_scratch_;
+  std::vector<uint64_t>& recv = recv_scratch_;
+  uint64_t total = 0;
+  for (int src = 0; src < num_workers_; ++src) {
+    for (int dst = 0; dst < num_workers_; ++dst) {
+      if (src == dst) continue;
+      BufferWriter& out = outgoing_[Index(src, dst)];
+      uint64_t n = out.size();
+      sent[src] += n;
+      recv[dst] += n;
+      total += n;
+      // Swap, then clear: both sides keep their capacity across supersteps.
+      out.SwapBytes(incoming_[Index(src, dst)]);
+      out.Clear();
+    }
+  }
+  last_total_bytes_ = total;
+  last_max_worker_bytes_ = 0;
+  for (int w = 0; w < num_workers_; ++w) {
+    last_max_worker_bytes_ =
+        std::max(last_max_worker_bytes_, std::max(sent[w], recv[w]));
+  }
+  last_messages_ = phase_messages_;
+  phase_messages_ = 0;
+  total_bytes_ += total;
+  total_messages_ += last_messages_;
+  return total;
+}
+
+}  // namespace flash

@@ -1,0 +1,81 @@
+#ifndef FLASH_FLASHWARE_MESSAGE_BUS_H_
+#define FLASH_FLASHWARE_MESSAGE_BUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace flash {
+
+/// All-to-all byte channels between the m simulated workers — the stand-in
+/// for the MPI transport of the original system. Every inter-worker update
+/// is serialised into a channel by the sender and deserialised by the
+/// receiver, so byte/message counts are exactly what a wire would carry.
+///
+/// Usage per BSP exchange phase:
+///   writers fill Channel(src, dst);  // src-exclusive, src != dst
+///   Exchange();                      // flips buffers, updates counters
+///   readers drain Incoming(dst, src).
+class MessageBus {
+ public:
+  explicit MessageBus(int num_workers)
+      : num_workers_(num_workers),
+        outgoing_(static_cast<size_t>(num_workers) * num_workers),
+        incoming_(static_cast<size_t>(num_workers) * num_workers) {
+    FLASH_CHECK_GE(num_workers, 1);
+  }
+
+  int num_workers() const { return num_workers_; }
+
+  /// Outgoing buffer from worker `src` to worker `dst`. Only `src` may write
+  /// to it during a phase (single-writer channels, like MPI point-to-point).
+  BufferWriter& Channel(int src, int dst) {
+    FLASH_DCHECK(src != dst);
+    return outgoing_[Index(src, dst)];
+  }
+
+  /// Counts `n` logical messages (vertex updates) for the current phase.
+  void CountMessages(uint64_t n = 1) { phase_messages_ += n; }
+
+  /// Ends the exchange phase: outgoing buffers become readable, counters are
+  /// updated. Returns total bytes moved in this phase.
+  uint64_t Exchange();
+
+  /// Bytes readable by `dst` from `src` after Exchange().
+  const std::vector<uint8_t>& Incoming(int dst, int src) const {
+    return incoming_[Index(src, dst)];
+  }
+
+  /// Busiest worker's max(sent, received) bytes in the last Exchange.
+  uint64_t LastMaxWorkerBytes() const { return last_max_worker_bytes_; }
+  uint64_t LastTotalBytes() const { return last_total_bytes_; }
+  uint64_t LastMessages() const { return last_messages_; }
+
+  uint64_t TotalBytes() const { return total_bytes_; }
+  uint64_t TotalMessages() const { return total_messages_; }
+
+ private:
+  size_t Index(int src, int dst) const {
+    FLASH_DCHECK(src >= 0 && src < num_workers_);
+    FLASH_DCHECK(dst >= 0 && dst < num_workers_);
+    return static_cast<size_t>(src) * num_workers_ + dst;
+  }
+
+  int num_workers_;
+  std::vector<BufferWriter> outgoing_;
+  std::vector<std::vector<uint8_t>> incoming_;
+  uint64_t phase_messages_ = 0;
+  uint64_t last_max_worker_bytes_ = 0;
+  uint64_t last_total_bytes_ = 0;
+  uint64_t last_messages_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_messages_ = 0;
+  std::vector<uint64_t> sent_scratch_;
+  std::vector<uint64_t> recv_scratch_;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_FLASHWARE_MESSAGE_BUS_H_

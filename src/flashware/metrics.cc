@@ -1,0 +1,18 @@
+#include "flashware/metrics.h"
+
+#include <sstream>
+
+namespace flash {
+
+std::string Metrics::ToString() const {
+  std::ostringstream out;
+  out << "supersteps=" << supersteps << " edges=" << edges_scanned
+      << " verts=" << vertices_updated << " msgs=" << messages
+      << " bytes=" << bytes << " dense=" << dense_steps
+      << " sparse=" << sparse_steps << " wall=" << TotalSeconds() << "s"
+      << " (compute=" << compute_seconds << " comm=" << comm_seconds
+      << " ser=" << serialize_seconds << " other=" << other_seconds << ")";
+  return out.str();
+}
+
+}  // namespace flash

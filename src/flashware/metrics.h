@@ -1,0 +1,79 @@
+#ifndef FLASH_FLASHWARE_METRICS_H_
+#define FLASH_FLASHWARE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flash {
+
+/// Kind of primitive that ran a superstep; recorded in the trace.
+enum class StepKind : uint8_t {
+  kVertexMap,
+  kEdgeMapDense,
+  kEdgeMapSparse,
+  kAggregate,  // SIZE / reductions / subset bitmap exchanges.
+};
+
+/// One BSP superstep's worth of counters, with per-worker maxima retained so
+/// the cost model can account for load imbalance (the slowest worker gates a
+/// synchronous superstep).
+struct StepSample {
+  StepKind kind = StepKind::kVertexMap;
+  uint32_t frontier_in = 0;    // |U| entering the primitive.
+  uint32_t frontier_out = 0;   // |Out| produced.
+  uint64_t edges_total = 0;    // Edge examinations, all workers.
+  uint64_t edges_max = 0;      // ... of the busiest worker.
+  uint64_t verts_total = 0;    // Vertex updates/evaluations, all workers.
+  uint64_t verts_max = 0;
+  uint64_t bytes_total = 0;    // Serialised payload bytes shipped.
+  uint64_t bytes_max = 0;      // Busiest worker's max(sent, received).
+  uint64_t msgs_total = 0;     // Vertex-level messages shipped.
+  /// Measured single-threaded compute seconds of this superstep: the
+  /// busiest worker and the sum over workers. Captures user-function cost
+  /// (list intersections, recursion) that edge counters cannot see; the
+  /// cost model prices cluster compute from these.
+  double comp_max = 0;
+  double comp_total = 0;
+};
+
+/// Cumulative metrics for one algorithm run on the simulated cluster.
+struct Metrics {
+  uint64_t supersteps = 0;
+  uint64_t edges_scanned = 0;
+  uint64_t vertices_updated = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t dense_steps = 0;
+  uint64_t sparse_steps = 0;
+
+  /// Wall-clock breakdown of the simulation (paper §V-E categories).
+  double compute_seconds = 0;
+  double comm_seconds = 0;       // Mirror sync + message application.
+  double serialize_seconds = 0;  // Encoding/decoding payloads.
+  double other_seconds = 0;      // Setup, subset bookkeeping.
+
+  /// Per-superstep trace (present when RuntimeOptions::record_trace).
+  std::vector<StepSample> trace;
+
+  void AddStep(const StepSample& sample, bool record_trace) {
+    ++supersteps;
+    edges_scanned += sample.edges_total;
+    vertices_updated += sample.verts_total;
+    messages += sample.msgs_total;
+    bytes += sample.bytes_total;
+    if (sample.kind == StepKind::kEdgeMapDense) ++dense_steps;
+    if (sample.kind == StepKind::kEdgeMapSparse) ++sparse_steps;
+    if (record_trace) trace.push_back(sample);
+  }
+
+  double TotalSeconds() const {
+    return compute_seconds + comm_seconds + serialize_seconds + other_seconds;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_FLASHWARE_METRICS_H_

@@ -1,0 +1,56 @@
+#ifndef FLASH_FLASHWARE_OPTIONS_H_
+#define FLASH_FLASHWARE_OPTIONS_H_
+
+#include "graph/partition.h"
+
+namespace flash {
+
+/// Forced propagation mode for EDGEMAP (paper §III-C). Adaptive switches per
+/// call on the Ligra density heuristic; the pure modes exist both for users
+/// (EDGEMAPDENSE / EDGEMAPSPARSE are part of the API) and for the Fig. 3
+/// dual-mode experiment.
+enum class EdgeMapMode {
+  kAdaptive,
+  kPush,   // Always EDGEMAPSPARSE.
+  kPull,   // Always EDGEMAPDENSE.
+};
+
+/// Runtime configuration of the simulated FLASH cluster.
+struct RuntimeOptions {
+  /// Number of simulated workers (processes in the paper; <= 64).
+  int num_workers = 4;
+
+  /// Threads in each worker's compute pool (the paper's "c cores", minus the
+  /// two communication threads whose role the in-memory transport plays).
+  int threads_per_worker = 1;
+
+  PartitionScheme partition = PartitionScheme::kHash;
+
+  EdgeMapMode edgemap_mode = EdgeMapMode::kAdaptive;
+
+  /// Dense if |U| + outdeg(U) > |E| / dense_threshold (Ligra's heuristic;
+  /// Ligra uses 20).
+  double dense_threshold = 20.0;
+
+  /// §IV-C "synchronize critical properties only": ship only the declared
+  /// critical fields to mirrors. Off = ship every field (ablation).
+  bool sync_critical_only = true;
+
+  /// §IV-C "communicate with necessary mirrors only": masters send updates
+  /// only to workers hosting a neighbour. Off = broadcast to all workers
+  /// (ablation). Programs using virtual edge sets must broadcast regardless;
+  /// see GraphApi::DeclareVirtualEdges().
+  bool necessary_mirrors_only = true;
+
+  /// §IV-C "overlap communication with computation": affects the modelled
+  /// cluster time (max(comp, comm) per superstep instead of comp + comm).
+  bool overlap_comm_compute = true;
+
+  /// Record a per-superstep trace (frontier sizes, per-step work) for the
+  /// figure benchmarks. Cheap; on by default.
+  bool record_trace = true;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_FLASHWARE_OPTIONS_H_

@@ -1,0 +1,96 @@
+#ifndef FLASH_FLASHWARE_VERTEX_STORE_H_
+#define FLASH_FLASHWARE_VERTEX_STORE_H_
+
+#include <vector>
+
+#include "common/fields.h"
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "graph/graph.h"
+
+namespace flash {
+
+/// Per-worker vertex state, implementing the FLASHWARE data layout (§IV-A):
+///
+///  - `current` states: the replica this worker reads during a superstep.
+///    For vertices the worker owns (masters) it is authoritative; for remote
+///    vertices it is a mirror kept consistent by the barrier's sync round
+///    (only for the critical fields, and only when this worker actually
+///    needs the vertex — see sync.h).
+///  - `next` states: shadow values written by put() during the superstep,
+///    invisible until the barrier. Allocated per vertex lazily via a dirty
+///    list so a superstep costs O(#updates), not O(|V|).
+template <typename VData>
+class VertexStore {
+ public:
+  explicit VertexStore(VertexId num_vertices)
+      : current_(num_vertices), next_(num_vertices), dirty_(num_vertices, 0) {}
+
+  VertexId num_vertices() const { return static_cast<VertexId>(current_.size()); }
+
+  /// Read of the consistent current state (FLASHWARE's get()).
+  const VData& Current(VertexId v) const {
+    FLASH_DCHECK(v < current_.size());
+    return current_[v];
+  }
+
+  /// Engine-internal direct write of the current state (initialisation only).
+  VData& DirectCurrent(VertexId v) { return current_[v]; }
+
+  /// Write access to v's next state (FLASHWARE's put()). On first touch in a
+  /// superstep the next state is seeded from the current state and v is
+  /// recorded in `dirty_sink` (caller-supplied so parallel shards can keep
+  /// private lists; masters are touched by exactly one shard).
+  VData& MutableNext(VertexId v, std::vector<VertexId>& dirty_sink) {
+    FLASH_DCHECK(v < next_.size());
+    if (!dirty_[v]) {
+      dirty_[v] = 1;
+      next_[v] = current_[v];
+      dirty_sink.push_back(v);
+    }
+    return next_[v];
+  }
+
+  bool IsDirty(VertexId v) const { return dirty_[v] != 0; }
+
+  /// Registers shard-local dirty lists collected during the compute phase.
+  void AppendDirty(std::vector<VertexId>&& list) {
+    if (dirty_list_.empty()) {
+      dirty_list_ = std::move(list);
+    } else {
+      dirty_list_.insert(dirty_list_.end(), list.begin(), list.end());
+    }
+  }
+
+  const std::vector<VertexId>& dirty_list() const { return dirty_list_; }
+
+  /// Barrier half 1: promotes next -> current for every dirty master and
+  /// invokes fn(v, value) so the caller can serialise the update for
+  /// mirrors. Clears the dirty set.
+  template <typename Fn>
+  void Commit(Fn&& fn) {
+    for (VertexId v : dirty_list_) {
+      current_[v] = next_[v];
+      fn(v, current_[v]);
+      dirty_[v] = 0;
+    }
+    dirty_list_.clear();
+  }
+
+  /// Barrier half 2 (receiver side): overlays the masked fields from a sync
+  /// message onto the local mirror's current state.
+  void ApplyMirror(VertexId v, uint32_t mask, BufferReader& reader) {
+    FLASH_DCHECK(v < current_.size());
+    DeserializeFields(current_[v], mask, reader);
+  }
+
+ private:
+  std::vector<VData> current_;
+  std::vector<VData> next_;
+  std::vector<uint8_t> dirty_;
+  std::vector<VertexId> dirty_list_;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_FLASHWARE_VERTEX_STORE_H_

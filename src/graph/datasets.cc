@@ -1,0 +1,107 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace flash {
+
+namespace {
+int ScaledLog2(int base_scale, double scale) {
+  // RMAT size is 2^scale; shrink by whole octaves.
+  int shrink = scale >= 1.0 ? 0 : static_cast<int>(std::ceil(-std::log2(scale)));
+  return std::max(8, base_scale - shrink);
+}
+uint32_t ScaledDim(uint32_t dim, double scale) {
+  return std::max<uint32_t>(8, static_cast<uint32_t>(dim * std::sqrt(scale)));
+}
+uint32_t ScaledCount(uint32_t n, double scale) {
+  return std::max<uint32_t>(64, static_cast<uint32_t>(n * scale));
+}
+}  // namespace
+
+Result<DatasetInfo> MakeDataset(const std::string& abbr, double scale,
+                                bool weighted, bool directed) {
+  if (scale <= 0 || scale > 16.0) {
+    return Status::InvalidArgument("dataset scale out of range (0, 16]");
+  }
+  DatasetInfo info;
+  info.abbr = abbr;
+
+  if (abbr == "OR") {
+    info.name = "rmat-orkut-twin";
+    info.domain = "SN";
+    RmatOptions opt;
+    opt.scale = ScaledLog2(14, scale);
+    opt.avg_degree = 16.0;
+    opt.seed = 101;
+    opt.weighted = weighted;
+    opt.symmetrize = !directed;
+    FLASH_ASSIGN_OR_RETURN(info.graph, GenerateRmat(opt));
+  } else if (abbr == "TW") {
+    info.name = "rmat-twitter-twin";
+    info.domain = "SN";
+    RmatOptions opt;
+    opt.scale = ScaledLog2(15, scale);
+    opt.avg_degree = 18.0;
+    opt.a = 0.60;  // Heavier skew than OR, like twitter's celebrity hubs.
+    opt.b = 0.18;
+    opt.c = 0.18;
+    opt.seed = 202;
+    opt.weighted = weighted;
+    opt.symmetrize = !directed;
+    FLASH_ASSIGN_OR_RETURN(info.graph, GenerateRmat(opt));
+  } else if (abbr == "US") {
+    info.name = "grid-road-usa-twin";
+    info.domain = "RN";
+    GridOptions opt;
+    // Elongated strip: road-USA's defining property is its huge diameter
+    // (1452 at 24M vertices); the twin preserves diameter >> social/web.
+    opt.rows = ScaledDim(1000, scale);
+    opt.cols = ScaledDim(32, scale);
+    opt.seed = 303;
+    opt.weighted = weighted;
+    FLASH_ASSIGN_OR_RETURN(info.graph, GenerateGrid(opt));
+  } else if (abbr == "EU") {
+    info.name = "grid-road-europe-twin";
+    info.domain = "RN";
+    GridOptions opt;
+    opt.rows = ScaledDim(1600, scale);  // europe-osm: diameter 2037.
+    opt.cols = ScaledDim(41, scale);
+    opt.seed = 404;
+    opt.weighted = weighted;
+    FLASH_ASSIGN_OR_RETURN(info.graph, GenerateGrid(opt));
+  } else if (abbr == "UK") {
+    info.name = "web-uk-twin";
+    info.domain = "WG";
+    WebGraphOptions opt;
+    opt.num_vertices = ScaledCount(24'000, scale);
+    opt.out_degree = 12;
+    opt.seed = 505;
+    opt.weighted = weighted;
+    opt.symmetrize = !directed;
+    FLASH_ASSIGN_OR_RETURN(info.graph, GenerateWebGraph(opt));
+  } else if (abbr == "SK") {
+    info.name = "web-sk-twin";
+    info.domain = "WG";
+    WebGraphOptions opt;
+    opt.num_vertices = ScaledCount(48'000, scale);
+    opt.out_degree = 16;
+    opt.seed = 606;
+    opt.weighted = weighted;
+    opt.symmetrize = !directed;
+    FLASH_ASSIGN_OR_RETURN(info.graph, GenerateWebGraph(opt));
+  } else {
+    return Status::NotFound("unknown dataset abbreviation: " + abbr);
+  }
+  return info;
+}
+
+const std::vector<std::string>& DatasetAbbrs() {
+  static const std::vector<std::string>& kAbbrs =
+      *new std::vector<std::string>{"OR", "TW", "US", "EU", "UK", "SK"};
+  return kAbbrs;
+}
+
+}  // namespace flash

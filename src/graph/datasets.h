@@ -1,0 +1,40 @@
+#ifndef FLASH_GRAPH_DATASETS_H_
+#define FLASH_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flash {
+
+/// Scaled-down synthetic twins of the paper's six evaluation datasets
+/// (Table III). Each twin reproduces the structural property its domain
+/// contributes:
+///   OR  (soc-orkut)   -> RMAT, skewed degrees, tiny diameter.
+///   TW  (soc-twitter) -> larger RMAT, heavier skew.
+///   US  (road-USA)    -> grid road network, huge diameter, degree <= 4.
+///   EU  (europe-osm)  -> larger grid road network.
+///   UK  (uk-2002)     -> web graph, moderate skew + local density.
+///   SK  (sk-2005)     -> larger/denser web graph.
+struct DatasetInfo {
+  std::string abbr;    // "OR", "TW", ...
+  std::string name;    // Descriptive twin name.
+  std::string domain;  // "SN", "RN", "WG".
+  GraphPtr graph;
+};
+
+/// `scale` in (0, 1] shrinks every dataset proportionally; 1.0 is the default
+/// benchmark size (small enough for a laptop, large enough that asymptotic
+/// behaviour such as diameter-bound convergence dominates). `directed`
+/// skips symmetrisation for the social/web twins (SCC workloads); road
+/// networks stay undirected.
+Result<DatasetInfo> MakeDataset(const std::string& abbr, double scale = 1.0,
+                                bool weighted = false, bool directed = false);
+
+/// All six dataset abbreviations in the paper's order.
+const std::vector<std::string>& DatasetAbbrs();
+
+}  // namespace flash
+
+#endif  // FLASH_GRAPH_DATASETS_H_

@@ -1,0 +1,76 @@
+#ifndef FLASH_GRAPH_GENERATORS_H_
+#define FLASH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace flash {
+
+/// Synthetic graph generators. These are the workload substrate: the paper's
+/// six real-world datasets are reproduced as scaled-down synthetic twins that
+/// preserve the structural property each domain contributes to the
+/// evaluation (degree skew for social networks, very large diameter and low
+/// degree for road networks, intermediate structure for web graphs).
+
+/// R-MAT options (Chakrabarti et al.). Defaults follow the Graph500 skew.
+struct RmatOptions {
+  int scale = 14;                // 2^scale vertices.
+  double avg_degree = 16.0;      // Directed edges per vertex before dedup.
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c.
+  bool symmetrize = true;
+  bool weighted = false;
+  uint64_t seed = 1;
+};
+
+/// Skewed, small-diameter graph in the style of social networks.
+Result<GraphPtr> GenerateRmat(const RmatOptions& options);
+
+/// Road-network-like graph: a rows x cols 4-neighbour grid where each edge
+/// survives with probability keep_prob (default keeps the grid connected in
+/// practice) plus sparse "highway" shortcuts. Large diameter, degree <= 4.
+struct GridOptions {
+  uint32_t rows = 128;
+  uint32_t cols = 128;
+  double keep_prob = 0.95;
+  double highway_fraction = 0.0005;  // Long-range shortcut edges per vertex.
+  bool weighted = false;
+  uint64_t seed = 1;
+};
+Result<GraphPtr> GenerateGrid(const GridOptions& options);
+
+/// Web-graph-like generator: preferential attachment with a copying factor,
+/// yielding a skewed (but less extreme than RMAT) degree distribution and
+/// locally dense neighbourhoods. Real web crawls (uk-2002, sk-2005) are
+/// extremely clique-dense — template-generated link farms form near-cliques
+/// — so the generator additionally plants `cliques_per_10k` cliques of
+/// `clique_size` vertices, which is what gives triangle/clique workloads
+/// their paper-like compute weight.
+struct WebGraphOptions {
+  uint32_t num_vertices = 1 << 14;
+  uint32_t out_degree = 12;
+  double copy_prob = 0.4;  // Probability of copying a neighbour's link.
+  uint32_t cliques_per_10k = 18;  // Planted link-farm cliques per 10k pages.
+  uint32_t clique_size = 44;
+  bool symmetrize = true;
+  bool weighted = false;
+  uint64_t seed = 1;
+};
+Result<GraphPtr> GenerateWebGraph(const WebGraphOptions& options);
+
+/// Uniform random directed graph with `num_edges` edges.
+Result<GraphPtr> GenerateErdosRenyi(uint32_t num_vertices, uint64_t num_edges,
+                                    bool symmetrize, uint64_t seed,
+                                    bool weighted = false);
+
+/// Deterministic fixtures used by tests and examples.
+Result<GraphPtr> MakePath(uint32_t n, bool symmetrize = true);
+Result<GraphPtr> MakeCycle(uint32_t n, bool symmetrize = true);
+Result<GraphPtr> MakeStar(uint32_t n, bool symmetrize = true);
+Result<GraphPtr> MakeComplete(uint32_t n);
+/// Full binary tree on n vertices (parent i -> children 2i+1, 2i+2).
+Result<GraphPtr> MakeBinaryTree(uint32_t n, bool symmetrize = true);
+
+}  // namespace flash
+
+#endif  // FLASH_GRAPH_GENERATORS_H_

@@ -1,0 +1,114 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace flash {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Result<GraphPtr> GraphBuilder::Build(const BuildOptions& options) {
+  // An explicit vertex count is binding; otherwise infer max endpoint + 1.
+  VertexId n = num_vertices_;
+  for (const Edge& e : edges_) {
+    VertexId needed = static_cast<VertexId>(std::max(e.src, e.dst) + 1);
+    if (num_vertices_ > 0 && needed > num_vertices_) {
+      return Status::InvalidArgument("edge endpoint exceeds num_vertices");
+    }
+    n = std::max(n, needed);
+  }
+
+  std::vector<Edge> edges = std::move(edges_);
+  edges_.clear();
+
+  if (options.remove_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) { return e.src == e.dst; }),
+                edges.end());
+  }
+
+  if (options.symmetrize) {
+    size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+      edges.push_back(Edge{edges[i].dst, edges[i].src, edges[i].weight});
+    }
+  }
+
+  // Sort by (src, dst, weight) so dedup keeps the minimum-weight parallel
+  // edge and adjacency lists come out sorted.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  auto graph = std::make_shared<Graph>();
+  graph->num_vertices_ = n;
+  graph->symmetric_ = options.symmetrize;
+  graph->weighted_ = options.keep_weights;
+
+  const EdgeId m = static_cast<EdgeId>(edges.size());
+  graph->out_offsets_.assign(n + 1, 0);
+  graph->out_targets_.resize(m);
+  if (options.keep_weights) graph->out_weights_.resize(m);
+
+  for (const Edge& e : edges) {
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument("edge endpoint exceeds num_vertices");
+    }
+    ++graph->out_offsets_[e.src + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    graph->out_offsets_[v + 1] += graph->out_offsets_[v];
+  }
+  {
+    std::vector<EdgeId> cursor(graph->out_offsets_.begin(),
+                               graph->out_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      EdgeId slot = cursor[e.src]++;
+      graph->out_targets_[slot] = e.dst;
+      if (options.keep_weights) graph->out_weights_[slot] = e.weight;
+    }
+  }
+
+  // In-CSR from a counting pass over the out-CSR.
+  graph->in_offsets_.assign(n + 1, 0);
+  graph->in_sources_.resize(m);
+  if (options.keep_weights) graph->in_weights_.resize(m);
+  for (VertexId dst : graph->out_targets_) ++graph->in_offsets_[dst + 1];
+  for (VertexId v = 0; v < n; ++v) {
+    graph->in_offsets_[v + 1] += graph->in_offsets_[v];
+  }
+  {
+    std::vector<EdgeId> cursor(graph->in_offsets_.begin(),
+                               graph->in_offsets_.end() - 1);
+    for (VertexId u = 0; u < n; ++u) {
+      for (EdgeId e = graph->out_offsets_[u]; e < graph->out_offsets_[u + 1];
+           ++e) {
+        VertexId dst = graph->out_targets_[e];
+        EdgeId slot = cursor[dst]++;
+        graph->in_sources_[slot] = u;
+        if (options.keep_weights) {
+          graph->in_weights_[slot] = graph->out_weights_[e];
+        }
+      }
+    }
+  }
+
+  // In-sources come out sorted because the filling pass scans sources in
+  // ascending order; no extra sort needed.
+  return GraphPtr(graph);
+}
+
+}  // namespace flash

@@ -1,0 +1,158 @@
+#ifndef FLASH_GRAPH_GRAPH_H_
+#define FLASH_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace flash {
+
+/// Vertex identifiers are dense integers in [0, NumVertices()).
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// A single directed edge with an optional weight (1.0 when the graph is
+/// unweighted).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+};
+
+inline bool operator==(const Edge& a, const Edge& b) {
+  return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+}
+
+/// Immutable directed property graph in CSR form, with both out- and
+/// in-adjacency so that pull-mode (EDGEMAPDENSE) and `reverse(E)` edge sets
+/// are O(1) to obtain. Vertices carry no intrinsic properties here; algorithm
+/// state lives in the runtime's vertex stores.
+///
+/// Undirected graphs are represented symmetrically (each undirected edge is
+/// stored in both directions) and flag is_symmetric().
+class Graph {
+ public:
+  Graph() = default;
+
+  VertexId NumVertices() const { return num_vertices_; }
+  EdgeId NumEdges() const { return static_cast<EdgeId>(out_targets_.size()); }
+  bool is_symmetric() const { return symmetric_; }
+  bool is_weighted() const { return weighted_; }
+
+  uint32_t OutDegree(VertexId v) const {
+    FLASH_DCHECK(v < num_vertices_);
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  uint32_t InDegree(VertexId v) const {
+    FLASH_DCHECK(v < num_vertices_);
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+  /// Degree in the undirected sense for symmetric graphs; OutDegree otherwise.
+  uint32_t Degree(VertexId v) const { return OutDegree(v); }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    FLASH_DCHECK(v < num_vertices_);
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    FLASH_DCHECK(v < num_vertices_);
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Weights aligned with OutNeighbors(v) / InNeighbors(v). Only valid when
+  /// is_weighted().
+  std::span<const float> OutWeights(VertexId v) const {
+    FLASH_DCHECK(weighted_);
+    return {out_weights_.data() + out_offsets_[v],
+            out_weights_.data() + out_offsets_[v + 1]};
+  }
+  std::span<const float> InWeights(VertexId v) const {
+    FLASH_DCHECK(weighted_);
+    return {in_weights_.data() + in_offsets_[v],
+            in_weights_.data() + in_offsets_[v + 1]};
+  }
+
+  /// True if the directed edge (u, v) exists. O(log deg) via binary search
+  /// (adjacency lists are sorted by Build).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Enumerates all edges as (src, dst, weight) triples in CSR order.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (VertexId u = 0; u < num_vertices_; ++u) {
+      for (EdgeId e = out_offsets_[u]; e < out_offsets_[u + 1]; ++e) {
+        fn(u, out_targets_[e], weighted_ ? out_weights_[e] : 1.0f);
+      }
+    }
+  }
+
+  const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
+  const std::vector<VertexId>& out_targets() const { return out_targets_; }
+  const std::vector<EdgeId>& in_offsets() const { return in_offsets_; }
+  const std::vector<VertexId>& in_sources() const { return in_sources_; }
+
+ private:
+  friend class GraphBuilder;
+
+  VertexId num_vertices_ = 0;
+  bool symmetric_ = false;
+  bool weighted_ = false;
+
+  std::vector<EdgeId> out_offsets_;     // size num_vertices_ + 1
+  std::vector<VertexId> out_targets_;   // size NumEdges()
+  std::vector<float> out_weights_;      // size NumEdges() iff weighted
+  std::vector<EdgeId> in_offsets_;
+  std::vector<VertexId> in_sources_;
+  std::vector<float> in_weights_;
+};
+
+using GraphPtr = std::shared_ptr<const Graph>;
+
+/// Options controlling GraphBuilder::Build.
+struct BuildOptions {
+  /// Insert the reverse of every edge (undirected representation).
+  bool symmetrize = false;
+  /// Drop (u, u) edges. Most analytic algorithms assume simple graphs.
+  bool remove_self_loops = true;
+  /// Collapse parallel edges, keeping the minimum weight.
+  bool deduplicate = true;
+  /// Keep per-edge weights; otherwise weights are dropped.
+  bool keep_weights = false;
+};
+
+/// Accumulates an edge list and materialises an immutable CSR Graph.
+class GraphBuilder {
+ public:
+  /// num_vertices may be 0; it is then inferred as max endpoint + 1.
+  explicit GraphBuilder(VertexId num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  void AddEdge(VertexId src, VertexId dst, float weight = 1.0f) {
+    edges_.push_back(Edge{src, dst, weight});
+  }
+  void AddEdges(const std::vector<Edge>& edges) {
+    edges_.insert(edges_.end(), edges.begin(), edges.end());
+  }
+
+  size_t NumPendingEdges() const { return edges_.size(); }
+
+  /// Builds the graph; the builder is left empty.
+  Result<GraphPtr> Build(const BuildOptions& options = {});
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_GRAPH_GRAPH_H_

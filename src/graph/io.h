@@ -1,0 +1,31 @@
+#ifndef FLASH_GRAPH_IO_H_
+#define FLASH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace flash {
+
+/// Loads a whitespace-separated edge-list text file: one `src dst [weight]`
+/// per line; lines starting with '#' or '%' are comments. This is the format
+/// of SNAP / Network Repository dumps used by the paper.
+Result<GraphPtr> LoadEdgeListFile(const std::string& path,
+                                  const BuildOptions& options = {});
+
+/// Writes the graph as an edge-list text file (weights included when the
+/// graph is weighted).
+Status SaveEdgeListFile(const Graph& graph, const std::string& path);
+
+/// Writes the graph's CSR in a compact binary format (magic "FLSHGRPH",
+/// version, flags, then the offset/target/weight arrays). Loading is a
+/// single pass with no re-sorting — the fast path for repeated runs over
+/// large inputs.
+Status SaveBinaryFile(const Graph& graph, const std::string& path);
+
+/// Loads a graph written by SaveBinaryFile.
+Result<GraphPtr> LoadBinaryFile(const std::string& path);
+
+}  // namespace flash
+
+#endif  // FLASH_GRAPH_IO_H_

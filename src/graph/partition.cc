@@ -1,0 +1,59 @@
+#include "graph/partition.h"
+
+namespace flash {
+
+Result<Partition> Partition::Create(const GraphPtr& graph, int num_workers,
+                                    PartitionScheme scheme) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("null graph");
+  }
+  if (num_workers < 1 || num_workers > kMaxWorkers) {
+    return Status::InvalidArgument("num_workers must be in [1, 64]");
+  }
+
+  Partition part;
+  part.num_workers_ = num_workers;
+  part.scheme_ = scheme;
+  const VertexId n = graph->NumVertices();
+  part.chunk_size_ = n == 0 ? 1 : (n + num_workers - 1) / num_workers;
+  if (part.chunk_size_ == 0) part.chunk_size_ = 1;
+
+  part.owned_.resize(num_workers);
+  for (VertexId v = 0; v < n; ++v) {
+    part.owned_[part.Owner(v)].push_back(v);
+  }
+
+  // Mirror masks: worker w needs v's state iff some neighbour of v (in
+  // either direction) is owned by w. Out-edges cover "w reads v as a source
+  // in pull mode"; in-edges cover "w pushes to v / reads it as a target".
+  part.mirror_masks_.assign(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    uint64_t owner_bit_u = uint64_t{1} << part.Owner(u);
+    for (VertexId v : graph->OutNeighbors(u)) {
+      part.mirror_masks_[u] |= uint64_t{1} << part.Owner(v);
+      part.mirror_masks_[v] |= owner_bit_u;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    part.mirror_masks_[v] &= ~(uint64_t{1} << part.Owner(v));
+  }
+  return part;
+}
+
+uint64_t Partition::TotalMirrors() const {
+  uint64_t total = 0;
+  for (uint64_t mask : mirror_masks_) {
+    total += static_cast<uint64_t>(__builtin_popcountll(mask));
+  }
+  return total;
+}
+
+uint64_t Partition::CutEdges(const Graph& graph) const {
+  uint64_t cut = 0;
+  graph.ForEachEdge([&](VertexId u, VertexId v, float) {
+    if (Owner(u) != Owner(v)) ++cut;
+  });
+  return cut;
+}
+
+}  // namespace flash

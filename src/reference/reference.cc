@@ -1,0 +1,535 @@
+#include "reference/reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+#include <stack>
+#include <unordered_map>
+
+#include "common/dsu.h"
+
+namespace flash::reference {
+
+std::vector<uint32_t> BfsDistances(const Graph& graph, VertexId root) {
+  std::vector<uint32_t> dist(graph.NumVertices(), kUnreachable);
+  if (root >= graph.NumVertices()) return dist;
+  std::deque<VertexId> queue{root};
+  dist[root] = 0;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> SsspDistances(const Graph& graph, VertexId root) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(graph.NumVertices(), kInf);
+  if (root >= graph.NumVertices()) return dist;
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[root] = 0;
+  heap.emplace(0.0, root);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    auto nbrs = graph.OutNeighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      double w = graph.is_weighted() ? graph.OutWeights(u)[i] : 1.0;
+      if (dist[u] + w < dist[nbrs[i]]) {
+        dist[nbrs[i]] = dist[u] + w;
+        heap.emplace(dist[nbrs[i]], nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> ConnectedComponents(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> label(n, kInvalidVertex);
+  for (VertexId s = 0; s < n; ++s) {
+    if (label[s] != kInvalidVertex) continue;
+    label[s] = s;
+    std::deque<VertexId> queue{s};
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      auto visit = [&](VertexId v) {
+        if (label[v] == kInvalidVertex) {
+          label[v] = s;
+          queue.push_back(v);
+        }
+      };
+      for (VertexId v : graph.OutNeighbors(u)) visit(v);
+      for (VertexId v : graph.InNeighbors(u)) visit(v);
+    }
+  }
+  return label;
+}
+
+std::vector<double> BetweennessFromSource(const Graph& graph, VertexId root) {
+  const VertexId n = graph.NumVertices();
+  std::vector<double> delta(n, 0.0);
+  if (root >= n) return delta;
+  // Brandes: forward BFS counting shortest paths, then reverse accumulation.
+  std::vector<int64_t> level(n, -1);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::deque<VertexId> queue{root};
+  level[root] = 0;
+  sigma[root] = 1.0;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (level[v] < 0) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+      if (level[v] == level[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VertexId u = *it;
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (level[v] == level[u] + 1 && sigma[v] > 0) {
+        delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+  }
+  return delta;
+}
+
+std::vector<double> PageRank(const Graph& graph, int iterations,
+                             double damping) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    double dangling = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling += rank[v];
+    }
+    std::fill(next.begin(), next.end(),
+              (1.0 - damping) / n + damping * dangling / n);
+    for (VertexId u = 0; u < n; ++u) {
+      if (graph.OutDegree(u) == 0) continue;
+      double share = damping * rank[u] / graph.OutDegree(u);
+      for (VertexId v : graph.OutNeighbors(u)) next[v] += share;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<uint32_t> CoreNumbers(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> degree(n);
+  std::vector<uint32_t> core(n, 0);
+  std::vector<bool> removed(n, false);
+  for (VertexId v = 0; v < n; ++v) degree[v] = graph.OutDegree(v);
+  // Peel in increasing k.
+  for (uint32_t k = 0;; ++k) {
+    bool any_left = false;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (!removed[v] && degree[v] <= k) {
+          removed[v] = true;
+          core[v] = k;
+          progress = true;
+          for (VertexId u : graph.OutNeighbors(v)) {
+            if (!removed[u] && degree[u] > 0) --degree[u];
+          }
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) any_left |= !removed[v];
+    if (!any_left) break;
+  }
+  return core;
+}
+
+uint64_t TriangleCount(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  uint64_t count = 0;
+  std::vector<uint8_t> marked(n, 0);
+  // Forward ordering by (degree, id): count each triangle at its largest
+  // vertex under that order.
+  auto less = [&](VertexId a, VertexId b) {
+    uint32_t da = graph.OutDegree(a), db = graph.OutDegree(b);
+    return da != db ? da < db : a < b;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (less(u, v)) marked[u] = 1;
+    }
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (!less(u, v)) continue;
+      for (VertexId w : graph.OutNeighbors(u)) {
+        if (less(w, u) && marked[w]) ++count;
+      }
+    }
+    for (VertexId u : graph.OutNeighbors(v)) marked[u] = 0;
+  }
+  return count;
+}
+
+uint64_t RectangleCount(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> paths(n, 0);
+  std::vector<VertexId> touched;
+  uint64_t doubled = 0;
+  // For each u, count 2-paths u - a - w with w > u; sum C(paths, 2) over w.
+  // Every 4-cycle is counted once per diagonal, i.e. twice in total.
+  for (VertexId u = 0; u < n; ++u) {
+    touched.clear();
+    for (VertexId a : graph.OutNeighbors(u)) {
+      for (VertexId w : graph.OutNeighbors(a)) {
+        if (w <= u) continue;
+        if (paths[w] == 0) touched.push_back(w);
+        ++paths[w];
+      }
+    }
+    for (VertexId w : touched) {
+      doubled += static_cast<uint64_t>(paths[w]) * (paths[w] - 1) / 2;
+      paths[w] = 0;
+    }
+  }
+  return doubled / 2;
+}
+
+namespace {
+uint64_t CliqueRecurse(const Graph& graph,
+                       const std::vector<std::vector<VertexId>>& forward,
+                       const std::vector<VertexId>& candidates, int remaining) {
+  if (remaining == 0) return 1;
+  if (remaining == 1) return candidates.size();
+  uint64_t total = 0;
+  for (VertexId u : candidates) {
+    std::vector<VertexId> next;
+    std::set_intersection(candidates.begin(), candidates.end(),
+                          forward[u].begin(), forward[u].end(),
+                          std::back_inserter(next));
+    if (static_cast<int>(next.size()) >= remaining - 1) {
+      total += CliqueRecurse(graph, forward, next, remaining - 1);
+    }
+  }
+  return total;
+}
+}  // namespace
+
+uint64_t KCliqueCount(const Graph& graph, int k) {
+  if (k <= 0) return 0;
+  const VertexId n = graph.NumVertices();
+  if (k == 1) return n;
+  // Orient edges by (degree, id); a k-clique appears exactly once as a
+  // monotone chain in this DAG.
+  auto less = [&](VertexId a, VertexId b) {
+    uint32_t da = graph.OutDegree(a), db = graph.OutDegree(b);
+    return da != db ? da < db : a < b;
+  };
+  std::vector<std::vector<VertexId>> forward(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (less(v, u)) forward[v].push_back(u);
+    }
+    std::sort(forward[v].begin(), forward[v].end());
+  }
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    total += CliqueRecurse(graph, forward, forward[v], k - 1);
+  }
+  return total;
+}
+
+std::vector<uint32_t> StronglyConnectedComponents(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> comp(n, kUnreachable);
+  std::vector<uint32_t> low(n, 0), num(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;
+  uint32_t timer = 1, comp_count = 0;
+
+  // Iterative Tarjan.
+  struct Frame {
+    VertexId v;
+    size_t edge_index;
+  };
+  std::vector<Frame> call_stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (num[s] != 0) continue;
+    call_stack.push_back({s, 0});
+    num[s] = low[s] = timer++;
+    stack.push_back(s);
+    on_stack[s] = true;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      auto nbrs = graph.OutNeighbors(frame.v);
+      if (frame.edge_index < nbrs.size()) {
+        VertexId w = nbrs[frame.edge_index++];
+        if (num[w] == 0) {
+          num[w] = low[w] = timer++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[frame.v] = std::min(low[frame.v], num[w]);
+        }
+      } else {
+        VertexId v = frame.v;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          low[call_stack.back().v] = std::min(low[call_stack.back().v], low[v]);
+        }
+        if (low[v] == num[v]) {
+          while (true) {
+            VertexId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = comp_count;
+            if (w == v) break;
+          }
+          ++comp_count;
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+namespace {
+/// Hopcroft–Tarjan over the undirected view; reports BCC count and
+/// articulation flags.
+struct BccResult {
+  uint64_t count = 0;
+  std::vector<bool> articulation;
+};
+
+BccResult BccAnalyze(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  BccResult result;
+  result.articulation.assign(n, false);
+  std::vector<int64_t> num(n, -1), low(n, 0);
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  int64_t timer = 0;
+
+  struct Frame {
+    VertexId v;
+    size_t edge_index;
+    int children;
+  };
+  std::vector<Frame> call_stack;
+  // Undirected adjacency = out plus in neighbours.
+  auto neighbors = [&](VertexId v, size_t index) -> VertexId {
+    auto out = graph.OutNeighbors(v);
+    if (index < out.size()) return out[index];
+    return graph.InNeighbors(v)[index - out.size()];
+  };
+  auto degree = [&](VertexId v) {
+    return graph.OutNeighbors(v).size() + graph.InNeighbors(v).size();
+  };
+  // Count of edges on the "component stack" is implicit: a BCC is detected
+  // at every articulation condition plus one per DFS-tree root child tree
+  // with edges. We count BCCs via the standard low/num conditions.
+  for (VertexId s = 0; s < n; ++s) {
+    if (num[s] != -1) continue;
+    if (degree(s) == 0) continue;  // Isolated vertex: no edges, no BCC.
+    call_stack.push_back({s, 0, 0});
+    num[s] = low[s] = timer++;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      VertexId v = frame.v;
+      if (frame.edge_index < degree(v)) {
+        VertexId w = neighbors(v, frame.edge_index++);
+        if (w == v) continue;
+        if (num[w] == -1) {
+          parent[w] = v;
+          ++frame.children;
+          num[w] = low[w] = timer++;
+          call_stack.push_back({w, 0, 0});
+        } else if (w != parent[v]) {
+          low[v] = std::min(low[v], num[w]);
+        }
+      } else {
+        call_stack.pop_back();
+        if (call_stack.empty()) {
+          // Root: articulation iff >= 2 children.
+          if (frame.children >= 2) result.articulation[v] = true;
+        } else {
+          VertexId p = call_stack.back().v;
+          low[p] = std::min(low[p], low[v]);
+          if (low[v] >= num[p]) {
+            // The subtree at v plus p forms (at least closes) one BCC.
+            ++result.count;
+            if (parent[p] != kInvalidVertex) result.articulation[p] = true;
+          }
+        }
+      }
+    }
+    // Each root child subtree closes one BCC at the root condition above
+    // (low[child] >= num[root] always holds), so roots are already counted.
+  }
+  return result;
+}
+}  // namespace
+
+uint64_t BiconnectedComponentCount(const Graph& graph) {
+  return BccAnalyze(graph).count;
+}
+
+std::vector<bool> ArticulationPoints(const Graph& graph) {
+  return BccAnalyze(graph).articulation;
+}
+
+std::vector<VertexId> LabelPropagation(const Graph& graph, int iterations) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> label(n), next(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  std::map<VertexId, uint32_t> counts;
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      counts.clear();
+      for (VertexId u : graph.OutNeighbors(v)) ++counts[label[u]];
+      next[v] = label[v];
+      uint32_t best = 0;
+      for (const auto& [lbl, cnt] : counts) {
+        // Most frequent; ties resolved to the smallest label (map order).
+        if (cnt > best) {
+          best = cnt;
+          next[v] = lbl;
+        }
+      }
+    }
+    label.swap(next);
+  }
+  return label;
+}
+
+MsfSummary MinimumSpanningForest(const Graph& graph) {
+  struct WeightedEdge {
+    float w;
+    VertexId u, v;
+  };
+  std::vector<WeightedEdge> edges;
+  graph.ForEachEdge([&](VertexId u, VertexId v, float w) {
+    if (u < v || !graph.is_symmetric()) edges.push_back({w, u, v});
+  });
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (a.w != b.w) return a.w < b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  Dsu dsu(graph.NumVertices());
+  MsfSummary summary;
+  for (const auto& e : edges) {
+    if (dsu.Union(e.u, e.v)) {
+      summary.total_weight += e.w;
+      ++summary.num_edges;
+    }
+  }
+  return summary;
+}
+
+std::vector<uint32_t> GreedyColoring(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> color(n, 0);
+  std::vector<bool> used;
+  for (VertexId v = 0; v < n; ++v) {
+    used.assign(graph.OutDegree(v) + 2, false);
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (u < v && color[u] < used.size()) used[color[u]] = true;
+    }
+    uint32_t c = 0;
+    while (used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+bool IsIndependentSet(const Graph& graph, const std::vector<bool>& in_set) {
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    if (!in_set[u]) continue;
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (v != u && in_set[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMaximalIndependentSet(const Graph& graph,
+                             const std::vector<bool>& in_set) {
+  if (!IsIndependentSet(graph, in_set)) return false;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    if (in_set[u]) continue;
+    bool blocked = false;
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (v != u && in_set[v]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;  // u could be added: not maximal.
+  }
+  return true;
+}
+
+bool IsMatching(const Graph& graph, const std::vector<VertexId>& match) {
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    VertexId m = match[v];
+    if (m == kInvalidVertex) continue;
+    if (m >= graph.NumVertices()) return false;
+    if (m == v) return false;
+    if (match[m] != v) return false;
+    if (!graph.HasEdge(v, m) && !graph.HasEdge(m, v)) return false;
+  }
+  return true;
+}
+
+bool IsMaximalMatching(const Graph& graph, const std::vector<VertexId>& match) {
+  if (!IsMatching(graph, match)) return false;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    if (match[u] != kInvalidVertex) continue;
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (v != u && match[v] == kInvalidVertex) return false;
+    }
+  }
+  return true;
+}
+
+bool IsProperColoring(const Graph& graph, const std::vector<uint32_t>& colors) {
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (u != v && colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool SamePartition(const std::vector<uint32_t>& a,
+                   const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<uint32_t, uint32_t> fwd, bwd;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [it1, inserted1] = fwd.emplace(a[i], b[i]);
+    if (!inserted1 && it1->second != b[i]) return false;
+    auto [it2, inserted2] = bwd.emplace(b[i], a[i]);
+    if (!inserted2 && it2->second != a[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace flash::reference

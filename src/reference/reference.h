@@ -1,0 +1,144 @@
+#ifndef FLASH_REFERENCE_REFERENCE_H_
+#define FLASH_REFERENCE_REFERENCE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace flash::reference {
+
+/// Simple, independent, single-threaded oracle implementations of every
+/// problem solved by the FLASH algorithm library. The property-test suite
+/// validates the distributed algorithms against these on randomized graphs.
+/// None of this code shares logic with the FLASH implementations.
+
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+/// Hop distances from `root` (kUnreachable when disconnected).
+std::vector<uint32_t> BfsDistances(const Graph& graph, VertexId root);
+
+/// Weighted shortest-path distances from `root` (Dijkstra; infinity when
+/// unreachable). Uses OutWeights if weighted, else weight 1.
+std::vector<double> SsspDistances(const Graph& graph, VertexId root);
+
+/// Connected-component labels on the undirected view; label = smallest
+/// vertex id in the component.
+std::vector<VertexId> ConnectedComponents(const Graph& graph);
+
+/// Brandes single-source dependency scores from `root` on the unweighted
+/// graph (the quantity the paper's Algorithm 3 computes).
+std::vector<double> BetweennessFromSource(const Graph& graph, VertexId root);
+
+/// PageRank with uniform teleport, `iterations` synchronous rounds.
+std::vector<double> PageRank(const Graph& graph, int iterations,
+                             double damping = 0.85);
+
+/// Core numbers by iterative peeling.
+std::vector<uint32_t> CoreNumbers(const Graph& graph);
+
+/// Exact triangle count (each triangle once) on the symmetric graph.
+uint64_t TriangleCount(const Graph& graph);
+
+/// Exact number of 4-cycles (rectangles), each counted once.
+uint64_t RectangleCount(const Graph& graph);
+
+/// Exact number of k-cliques, each counted once.
+uint64_t KCliqueCount(const Graph& graph, int k);
+
+/// Strongly connected component labels (Tarjan, iterative).
+std::vector<uint32_t> StronglyConnectedComponents(const Graph& graph);
+
+/// Number of biconnected components (Hopcroft–Tarjan on the undirected
+/// view; isolated vertices contribute none).
+uint64_t BiconnectedComponentCount(const Graph& graph);
+
+/// Articulation vertices (true = cut vertex).
+std::vector<bool> ArticulationPoints(const Graph& graph);
+
+/// Synchronous label propagation for `iterations` rounds. Every vertex
+/// starts with its own id; each round every vertex adopts the most frequent
+/// neighbour label (ties -> smallest label). Matches the FLASH LPA exactly.
+std::vector<VertexId> LabelPropagation(const Graph& graph, int iterations);
+
+/// Total weight and edge count of a minimum spanning forest (Kruskal).
+struct MsfSummary {
+  double total_weight = 0;
+  uint64_t num_edges = 0;
+};
+MsfSummary MinimumSpanningForest(const Graph& graph);
+
+/// Greedy graph colouring in BFS order (an upper bound used for sanity
+/// checks; validity of FLASH's colouring is checked with IsProperColoring).
+std::vector<uint32_t> GreedyColoring(const Graph& graph);
+
+// --- validators for problems with non-unique answers ---
+
+bool IsIndependentSet(const Graph& graph, const std::vector<bool>& in_set);
+bool IsMaximalIndependentSet(const Graph& graph,
+                             const std::vector<bool>& in_set);
+
+/// match[v] is v's partner or kInvalidVertex.
+bool IsMatching(const Graph& graph, const std::vector<VertexId>& match);
+bool IsMaximalMatching(const Graph& graph, const std::vector<VertexId>& match);
+
+bool IsProperColoring(const Graph& graph, const std::vector<uint32_t>& colors);
+
+/// True when the two labelings induce the same partition of the vertices.
+bool SamePartition(const std::vector<uint32_t>& a,
+                   const std::vector<uint32_t>& b);
+
+/// Number of triangles through each vertex.
+std::vector<uint64_t> LocalTriangleCounts(const Graph& graph);
+
+/// HITS hub/authority scores after `iterations` normalised rounds.
+struct HitsScores {
+  std::vector<double> hub;
+  std::vector<double> authority;
+};
+HitsScores Hits(const Graph& graph, int iterations);
+
+/// Per-vertex sum of distances and harmonic sum from the given sources.
+struct SourceDistances {
+  std::vector<uint32_t> distance_sum;
+  std::vector<double> harmonic;
+};
+SourceDistances DistancesFromSources(const Graph& graph,
+                                     const std::vector<VertexId>& sources);
+
+/// Exact diameter via all-pairs BFS (small graphs only). Ignores
+/// unreachable pairs; 0 for edgeless graphs.
+uint32_t ExactDiameter(const Graph& graph);
+
+/// Whether the undirected view is bipartite.
+bool IsBipartite(const Graph& graph);
+
+/// Kahn topological layers; layer[v] = kUnreachable for cycle vertices.
+struct TopoLayering {
+  bool is_dag = false;
+  std::vector<uint32_t> layer;
+};
+TopoLayering TopologicalLayers(const Graph& graph);
+
+/// Max density |E(S)|/|S| over Charikar's exact greedy peel sequence
+/// (a 2-approximation of the optimum densest subgraph).
+double CharikarPeelMaxDensity(const Graph& graph);
+
+/// Density of the subgraph induced by `members` (undirected edge count /
+/// member count).
+double InducedDensity(const Graph& graph, const std::vector<bool>& members);
+
+/// Personalized PageRank with restart to `seed`, `iterations` rounds,
+/// restart probability 0.15 (matches algo::RunPersonalizedPageRank).
+std::vector<double> PersonalizedPageRank(const Graph& graph, VertexId seed,
+                                         int iterations);
+
+/// The k-truss as surviving sorted adjacency per vertex (queue-based exact
+/// support peeling on the undirected simple graph).
+std::vector<std::vector<VertexId>> KTrussAdjacency(const Graph& graph,
+                                                   uint32_t k);
+
+}  // namespace flash::reference
+
+#endif  // FLASH_REFERENCE_REFERENCE_H_

@@ -1,0 +1,276 @@
+// Oracles for the extended algorithm suite (clustering, HITS, multi-source
+// BFS, diameter, bipartiteness, topological layers, densest subgraph, PPR).
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "reference/reference.h"
+
+namespace flash::reference {
+
+std::vector<uint64_t> LocalTriangleCounts(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint64_t> count(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    auto nbrs = graph.OutNeighbors(v);
+    for (VertexId u : nbrs) {
+      if (u <= v) continue;
+      // Common neighbours w > u close a triangle {v, u, w}: count at all 3.
+      auto a = graph.OutNeighbors(v);
+      auto b = graph.OutNeighbors(u);
+      size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+          ++i;
+        } else if (b[j] < a[i]) {
+          ++j;
+        } else {
+          if (a[i] > u) {
+            ++count[v];
+            ++count[u];
+            ++count[a[i]];
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+HitsScores Hits(const Graph& graph, int iterations) {
+  const VertexId n = graph.NumVertices();
+  HitsScores scores;
+  scores.hub.assign(n, 1.0);
+  scores.authority.assign(n, 1.0);
+  auto normalize = [n](std::vector<double>& v) {
+    double sum = 0;
+    for (double x : v) sum += x * x;
+    double norm = sum > 0 ? std::sqrt(sum) : 1.0;
+    for (VertexId i = 0; i < n; ++i) v[i] /= norm;
+  };
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      double acc = 0;
+      for (VertexId u : graph.InNeighbors(v)) acc += scores.hub[u];
+      scores.authority[v] = acc;
+    }
+    normalize(scores.authority);
+    for (VertexId v = 0; v < n; ++v) {
+      double acc = 0;
+      for (VertexId u : graph.OutNeighbors(v)) acc += scores.authority[u];
+      scores.hub[v] = acc;
+    }
+    normalize(scores.hub);
+  }
+  return scores;
+}
+
+SourceDistances DistancesFromSources(const Graph& graph,
+                                     const std::vector<VertexId>& sources) {
+  const VertexId n = graph.NumVertices();
+  SourceDistances out;
+  out.distance_sum.assign(n, 0);
+  out.harmonic.assign(n, 0.0);
+  for (VertexId s : sources) {
+    auto dist = BfsDistances(graph, s);
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable && dist[v] > 0) {
+        out.distance_sum[v] += dist[v];
+        out.harmonic[v] += 1.0 / dist[v];
+      }
+    }
+  }
+  return out;
+}
+
+uint32_t ExactDiameter(const Graph& graph) {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (uint32_t d : BfsDistances(graph, v)) {
+      if (d != kUnreachable) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+bool IsBipartite(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<int8_t> side(n, -1);
+  for (VertexId s = 0; s < n; ++s) {
+    if (side[s] != -1) continue;
+    side[s] = 0;
+    std::deque<VertexId> queue{s};
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      auto visit = [&](VertexId v) {
+        if (v == u) return true;  // Self loops removed by builder anyway.
+        if (side[v] == -1) {
+          side[v] = side[u] ^ 1;
+          queue.push_back(v);
+        }
+        return side[v] != side[u];
+      };
+      for (VertexId v : graph.OutNeighbors(u)) {
+        if (!visit(v)) return false;
+      }
+      for (VertexId v : graph.InNeighbors(u)) {
+        if (!visit(v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+TopoLayering TopologicalLayers(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  TopoLayering out;
+  out.layer.assign(n, kUnreachable);
+  std::vector<int64_t> indeg(n, 0);
+  for (VertexId v = 0; v < n; ++v) indeg[v] = graph.InDegree(v);
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) frontier.push_back(v);
+  }
+  uint64_t seen = 0;
+  for (uint32_t layer = 0; !frontier.empty(); ++layer) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      out.layer[v] = layer;
+      ++seen;
+      for (VertexId u : graph.OutNeighbors(v)) {
+        if (--indeg[u] == 0) next.push_back(u);
+      }
+    }
+    frontier.swap(next);
+  }
+  out.is_dag = (seen == n);
+  return out;
+}
+
+double CharikarPeelMaxDensity(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<int64_t> degree(n);
+  std::vector<bool> removed(n, false);
+  uint64_t edges = graph.NumEdges() / 2;  // Undirected (symmetric storage).
+  uint64_t alive = n;
+  // Min-degree peel with a bucketed multiset.
+  std::set<std::pair<int64_t, VertexId>> order;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.OutDegree(v);
+    order.emplace(degree[v], v);
+  }
+  double best = alive > 0 ? static_cast<double>(edges) / alive : 0.0;
+  while (alive > 1) {
+    auto [d, v] = *order.begin();
+    order.erase(order.begin());
+    removed[v] = true;
+    edges -= static_cast<uint64_t>(d);
+    --alive;
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (removed[u]) continue;
+      order.erase({degree[u], u});
+      --degree[u];
+      order.emplace(degree[u], u);
+    }
+    if (alive > 0) {
+      best = std::max(best, static_cast<double>(edges) / alive);
+    }
+  }
+  return best;
+}
+
+double InducedDensity(const Graph& graph, const std::vector<bool>& members) {
+  uint64_t edges = 0;
+  uint64_t count = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!members[v]) continue;
+    ++count;
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (u > v && members[u]) ++edges;
+    }
+  }
+  return count > 0 ? static_cast<double>(edges) / count : 0.0;
+}
+
+std::vector<double> PersonalizedPageRank(const Graph& graph, VertexId seed,
+                                         int iterations) {
+  const VertexId n = graph.NumVertices();
+  const double alpha = 0.15;
+  std::vector<double> rank(n, 0.0), next(n, 0.0);
+  if (seed < n) rank[seed] = 1.0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    double dangling = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling += rank[v];
+    }
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (graph.OutDegree(u) == 0) continue;
+      double share = rank[u] / graph.OutDegree(u);
+      for (VertexId v : graph.OutNeighbors(u)) next[v] += share;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] = (1.0 - alpha) * (next[v] + (v == seed ? dangling : 0.0)) +
+                (v == seed ? alpha : 0.0);
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<std::vector<VertexId>> KTrussAdjacency(const Graph& graph,
+                                                   uint32_t k) {
+  const VertexId n = graph.NumVertices();
+  if (k < 2) k = 2;
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    auto nbrs = graph.OutNeighbors(v);
+    adj[v].assign(nbrs.begin(), nbrs.end());
+  }
+  auto support = [&](VertexId u, VertexId v) {
+    uint64_t s = 0;
+    size_t i = 0, j = 0;
+    while (i < adj[u].size() && j < adj[v].size()) {
+      if (adj[u][i] < adj[v][j]) {
+        ++i;
+      } else if (adj[v][j] < adj[u][i]) {
+        ++j;
+      } else {
+        ++s;
+        ++i;
+        ++j;
+      }
+    }
+    return s;
+  };
+  auto erase_edge = [&](VertexId u, VertexId v) {
+    auto it = std::lower_bound(adj[u].begin(), adj[u].end(), v);
+    if (it != adj[u].end() && *it == v) adj[u].erase(it);
+  };
+  // Queue-based exact peel: re-examine endpoints of removed edges.
+  std::deque<std::pair<VertexId, VertexId>> queue;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : adj[u]) {
+      if (u < v && support(u, v) < k - 2) queue.emplace_back(u, v);
+    }
+  }
+  while (!queue.empty()) {
+    auto [u, v] = queue.front();
+    queue.pop_front();
+    if (!std::binary_search(adj[u].begin(), adj[u].end(), v)) continue;
+    if (support(u, v) >= k - 2) continue;
+    erase_edge(u, v);
+    erase_edge(v, u);
+    // Edges incident to u or v may have lost support.
+    for (VertexId w : adj[u]) queue.emplace_back(std::min(u, w), std::max(u, w));
+    for (VertexId w : adj[v]) queue.emplace_back(std::min(v, w), std::max(v, w));
+  }
+  return adj;
+}
+
+}  // namespace flash::reference

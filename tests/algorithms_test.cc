@@ -1,0 +1,296 @@
+// Property suite: every FLASH algorithm validated against the sequential
+// reference oracles across a matrix of graphs x runtime configurations
+// (worker counts, intra-worker threads, push/pull/adaptive, partitioners).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/algorithms.h"
+#include "reference/reference.h"
+#include "tests/test_util.h"
+
+namespace flash {
+namespace {
+
+using testing::AllRuntimeCases;
+using testing::MakeOptions;
+using testing::RuntimeCase;
+using testing::TestGraphs;
+
+class AlgoSweep : public ::testing::TestWithParam<RuntimeCase> {
+ protected:
+  RuntimeOptions options() const { return MakeOptions(GetParam()); }
+};
+
+TEST_P(AlgoSweep, Bfs) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunBfs(graph, 0, options());
+    auto expected = reference::BfsDistances(*graph, 0);
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      uint32_t want = expected[v] == reference::kUnreachable ? algo::kInf32
+                                                             : expected[v];
+      ASSERT_EQ(result.distance[v], want) << name << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(AlgoSweep, CcBasic) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunCcBasic(graph, options());
+    auto expected = reference::ConnectedComponents(*graph);
+    EXPECT_TRUE(reference::SamePartition(result.label, expected)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, CcOpt) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunCcOpt(graph, options());
+    auto expected = reference::ConnectedComponents(*graph);
+    EXPECT_TRUE(reference::SamePartition(result.label, expected)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, Bc) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunBc(graph, 0, options());
+    auto expected = reference::BetweennessFromSource(*graph, 0);
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      ASSERT_NEAR(result.dependency[v], expected[v], 1e-6)
+          << name << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(AlgoSweep, Mis) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunMis(graph, options());
+    EXPECT_TRUE(reference::IsMaximalIndependentSet(*graph, result.in_set))
+        << name;
+  }
+}
+
+TEST_P(AlgoSweep, MmBasic) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunMmBasic(graph, options());
+    EXPECT_TRUE(reference::IsMaximalMatching(*graph, result.match)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, MmOpt) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunMmOpt(graph, options());
+    EXPECT_TRUE(reference::IsMaximalMatching(*graph, result.match)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, KCoreBasic) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunKCoreBasic(graph, options());
+    EXPECT_EQ(result.core, reference::CoreNumbers(*graph)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, KCoreOpt) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunKCoreOpt(graph, options());
+    EXPECT_EQ(result.core, reference::CoreNumbers(*graph)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, TriangleCount) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunTriangleCount(graph, options());
+    EXPECT_EQ(result.count, reference::TriangleCount(*graph)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, RectangleCount) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunRectangleCount(graph, options());
+    EXPECT_EQ(result.count, reference::RectangleCount(*graph)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, KCliqueCount) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    for (int k : {3, 4, 5}) {
+      auto result = algo::RunKCliqueCount(graph, k, options());
+      EXPECT_EQ(result.count, reference::KCliqueCount(*graph, k))
+          << name << " k=" << k;
+    }
+  }
+}
+
+TEST_P(AlgoSweep, GraphColoring) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunGraphColoring(graph, options());
+    EXPECT_TRUE(reference::IsProperColoring(*graph, result.color)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, Scc) {
+  for (const auto& [name, graph] : TestGraphs(/*directed=*/true)) {
+    auto result = algo::RunScc(graph, options());
+    auto expected = reference::StronglyConnectedComponents(*graph);
+    EXPECT_TRUE(reference::SamePartition(result.label, expected)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, Bcc) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunBcc(graph, options());
+    EXPECT_EQ(result.num_bcc, reference::BiconnectedComponentCount(*graph))
+        << name;
+  }
+}
+
+TEST_P(AlgoSweep, Lpa) {
+  for (const auto& [name, graph] : TestGraphs()) {
+    auto result = algo::RunLpa(graph, 5, options());
+    EXPECT_EQ(result.label, reference::LabelPropagation(*graph, 5)) << name;
+  }
+}
+
+TEST_P(AlgoSweep, Msf) {
+  for (const auto& [name, graph] : TestGraphs(false, /*weighted=*/true)) {
+    auto result = algo::RunMsf(graph, options());
+    auto expected = reference::MinimumSpanningForest(*graph);
+    EXPECT_EQ(result.edges.size(), expected.num_edges) << name;
+    EXPECT_NEAR(result.total_weight, expected.total_weight,
+                1e-4 * std::max(1.0, expected.total_weight))
+        << name;
+  }
+}
+
+TEST_P(AlgoSweep, Sssp) {
+  for (const auto& [name, graph] : TestGraphs(false, /*weighted=*/true)) {
+    auto result = algo::RunSssp(graph, 0, options());
+    auto expected = reference::SsspDistances(*graph, 0);
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      if (std::isinf(expected[v])) {
+        ASSERT_TRUE(std::isinf(result.distance[v])) << name << " v" << v;
+      } else {
+        ASSERT_NEAR(result.distance[v], expected[v], 1e-4) << name << " v" << v;
+      }
+    }
+  }
+}
+
+TEST_P(AlgoSweep, PageRank) {
+  for (const auto& [name, graph] : TestGraphs(/*directed=*/true)) {
+    auto result = algo::RunPageRank(graph, 10, options());
+    auto expected = reference::PageRank(*graph, 10);
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      ASSERT_NEAR(result.rank[v], expected[v], 1e-9) << name << " v" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Runtimes, AlgoSweep,
+                         ::testing::ValuesIn(AllRuntimeCases()),
+                         [](const auto& info) {
+                           std::ostringstream os;
+                           os << info.param;
+                           return os.str();
+                         });
+
+// --- Edge cases shared by all algorithms ----------------------------------
+
+TEST(AlgoEdgeCases, SingleVertex) {
+  auto graph = MakePath(1).value();
+  RuntimeOptions options;
+  options.num_workers = 2;
+  EXPECT_EQ(algo::RunBfs(graph, 0, options).distance, std::vector<uint32_t>{0});
+  EXPECT_EQ(algo::RunCcBasic(graph, options).label.size(), 1u);
+  EXPECT_EQ(algo::RunCcOpt(graph, options).label.size(), 1u);
+  EXPECT_EQ(algo::RunTriangleCount(graph, options).count, 0u);
+  EXPECT_EQ(algo::RunMis(graph, options).in_set, std::vector<bool>{true});
+}
+
+TEST(AlgoEdgeCases, DisconnectedComponents) {
+  // Two cliques with no connection.
+  GraphBuilder builder(8);
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = 0; j < 4; ++j) {
+      if (i != j) {
+        builder.AddEdge(i, j);
+        builder.AddEdge(i + 4, j + 4);
+      }
+    }
+  }
+  auto graph = builder.Build(BuildOptions{}).value();
+  RuntimeOptions options;
+  options.num_workers = 3;
+  auto cc = algo::RunCcOpt(graph, options);
+  EXPECT_TRUE(reference::SamePartition(cc.label,
+                                       reference::ConnectedComponents(*graph)));
+  EXPECT_EQ(algo::RunTriangleCount(graph, options).count, 8u);
+  auto bfs = algo::RunBfs(graph, 0, options);
+  EXPECT_EQ(bfs.distance[5], algo::kInf32);
+}
+
+TEST(AlgoEdgeCases, BccButterflyGroupsTriangles) {
+  // Two triangles sharing the articulation vertex 2: exactly 2 BCCs, and
+  // the parent-edge labels of each triangle's vertices must group together.
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(2, 4);
+  BuildOptions opt;
+  opt.symmetrize = true;
+  auto graph = builder.Build(opt).value();
+  RuntimeOptions options;
+  options.num_workers = 3;
+  auto result = algo::RunBcc(graph, options);
+  EXPECT_EQ(result.num_bcc, 2u);
+  EXPECT_EQ(result.num_bcc, reference::BiconnectedComponentCount(*graph));
+  // The root of the BFS tree has no parent edge and therefore no label.
+  int unlabeled = 0;
+  for (uint32_t label : result.label) unlabeled += (label == algo::kInf32);
+  EXPECT_EQ(unlabeled, 1);
+  auto arts = reference::ArticulationPoints(*graph);
+  EXPECT_TRUE(arts[2]);
+  EXPECT_FALSE(arts[0] || arts[1] || arts[3] || arts[4]);
+}
+
+TEST(AlgoEdgeCases, BccBridgesAreSingletons) {
+  // A path is all bridges: every edge is its own biconnected component.
+  auto graph = MakePath(8).value();
+  RuntimeOptions options;
+  options.num_workers = 2;
+  auto result = algo::RunBcc(graph, options);
+  EXPECT_EQ(result.num_bcc, 7u);
+}
+
+TEST(AlgoEdgeCases, CcOptConvergesFastOnLongPath) {
+  // The whole point of CC-opt: O(log n) rounds vs O(n) for label
+  // propagation on a path.
+  auto graph = MakePath(512).value();
+  RuntimeOptions options;
+  options.num_workers = 4;
+  auto basic = algo::RunCcBasic(graph, options);
+  auto opt = algo::RunCcOpt(graph, options);
+  EXPECT_TRUE(reference::SamePartition(basic.label, opt.label));
+  EXPECT_GT(basic.rounds, 100);
+  EXPECT_LT(opt.rounds, 25);
+}
+
+TEST(AlgoEdgeCases, MmOptTouchesFewerVerticesThanBasic) {
+  auto graph =
+      GenerateErdosRenyi(300, 1800, /*symmetrize=*/true, /*seed=*/21).value();
+  RuntimeOptions options;
+  options.num_workers = 4;
+  auto basic = algo::RunMmBasic(graph, options);
+  auto opt = algo::RunMmOpt(graph, options);
+  uint64_t basic_active = 0, opt_active = 0;
+  for (uint64_t a : basic.active_per_round) basic_active += a;
+  for (uint64_t a : opt.active_per_round) opt_active += a;
+  EXPECT_LT(opt_active, basic_active);
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,113 @@
+// Determinism guarantees: with the reduce functions required to be
+// associative and commutative (paper §III-A), runs must be bit-identical
+// across repeated executions, and integer-valued algorithms must be
+// invariant to the worker count, propagation mode, and partitioning scheme.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace flash {
+namespace {
+
+RuntimeOptions Config(int workers, EdgeMapMode mode,
+                      PartitionScheme scheme = PartitionScheme::kHash) {
+  RuntimeOptions options;
+  options.num_workers = workers;
+  options.edgemap_mode = mode;
+  options.partition = scheme;
+  return options;
+}
+
+GraphPtr DetGraph() {
+  static GraphPtr graph =
+      GenerateErdosRenyi(120, 600, /*symmetrize=*/true, /*seed=*/77).value();
+  return graph;
+}
+
+TEST(Determinism, RepeatedRunsAreBitIdentical) {
+  auto options = Config(4, EdgeMapMode::kAdaptive);
+  auto a = algo::RunCcOpt(DetGraph(), options);
+  auto b = algo::RunCcOpt(DetGraph(), options);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.metrics.supersteps, b.metrics.supersteps);
+  EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+}
+
+TEST(Determinism, BfsInvariantToRuntimeConfig) {
+  auto baseline = algo::RunBfs(DetGraph(), 3, Config(1, EdgeMapMode::kPush));
+  for (int workers : {2, 4, 8}) {
+    for (auto mode : {EdgeMapMode::kPush, EdgeMapMode::kPull,
+                      EdgeMapMode::kAdaptive}) {
+      for (auto scheme : {PartitionScheme::kHash, PartitionScheme::kChunk}) {
+        auto run = algo::RunBfs(DetGraph(), 3, Config(workers, mode, scheme));
+        ASSERT_EQ(run.distance, baseline.distance)
+            << workers << " " << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+TEST(Determinism, CcOptLabelsInvariantToWorkers) {
+  auto baseline = algo::RunCcOpt(DetGraph(), Config(1, EdgeMapMode::kAdaptive));
+  for (int workers : {2, 5, 16}) {
+    auto run =
+        algo::RunCcOpt(DetGraph(), Config(workers, EdgeMapMode::kAdaptive));
+    ASSERT_EQ(run.label, baseline.label) << workers;
+  }
+}
+
+TEST(Determinism, MisSetInvariantToWorkers) {
+  // Priorities are unique, so Luby's rounds are fully determined.
+  auto baseline = algo::RunMis(DetGraph(), Config(1, EdgeMapMode::kAdaptive));
+  for (int workers : {3, 8}) {
+    auto run = algo::RunMis(DetGraph(), Config(workers, EdgeMapMode::kAdaptive));
+    ASSERT_EQ(run.in_set, baseline.in_set) << workers;
+  }
+}
+
+TEST(Determinism, CountsInvariantToWorkersAndMode) {
+  auto tc1 = algo::RunTriangleCount(DetGraph(), Config(1, EdgeMapMode::kPush));
+  for (int workers : {2, 4}) {
+    for (auto mode : {EdgeMapMode::kPush, EdgeMapMode::kPull}) {
+      ASSERT_EQ(algo::RunTriangleCount(DetGraph(), Config(workers, mode)).count,
+                tc1.count);
+    }
+  }
+  auto rc1 =
+      algo::RunRectangleCount(DetGraph(), Config(1, EdgeMapMode::kAdaptive));
+  ASSERT_EQ(
+      algo::RunRectangleCount(DetGraph(), Config(6, EdgeMapMode::kAdaptive))
+          .count,
+      rc1.count);
+}
+
+TEST(Determinism, KCoreInvariantToEverything) {
+  auto baseline =
+      algo::RunKCoreOpt(DetGraph(), Config(1, EdgeMapMode::kAdaptive));
+  for (int workers : {2, 7}) {
+    for (auto mode : {EdgeMapMode::kPush, EdgeMapMode::kPull}) {
+      ASSERT_EQ(algo::RunKCoreOpt(DetGraph(), Config(workers, mode)).core,
+                baseline.core);
+    }
+  }
+}
+
+TEST(Determinism, GeneratorsAreSeedDeterministic) {
+  RmatOptions rmat;
+  rmat.scale = 10;
+  rmat.seed = 5;
+  EXPECT_EQ(GenerateRmat(rmat).value()->out_targets(),
+            GenerateRmat(rmat).value()->out_targets());
+  WebGraphOptions web;
+  web.num_vertices = 2000;
+  web.seed = 9;
+  EXPECT_EQ(GenerateWebGraph(web).value()->out_targets(),
+            GenerateWebGraph(web).value()->out_targets());
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,188 @@
+// Unit tests for the FLASHWARE middleware internals: the current/next
+// vertex store (BSP visibility, dirty tracking, masked mirror overlays),
+// metrics aggregation, and the cluster cost model.
+
+#include <gtest/gtest.h>
+
+#include "flashware/cost_model.h"
+#include "flashware/metrics.h"
+#include "flashware/vertex_store.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+
+namespace flash {
+namespace {
+
+struct StoreData {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  FLASH_FIELDS(a, b)
+};
+
+TEST(VertexStore, NextSeedsFromCurrentOnFirstTouch) {
+  VertexStore<StoreData> store(4);
+  store.DirectCurrent(2).a = 7;
+  std::vector<VertexId> dirty;
+  StoreData& next = store.MutableNext(2, dirty);
+  EXPECT_EQ(next.a, 7u);  // Seeded from current.
+  next.a = 9;
+  EXPECT_EQ(store.Current(2).a, 7u);  // Invisible until commit (BSP).
+  EXPECT_EQ(dirty, std::vector<VertexId>{2});
+}
+
+TEST(VertexStore, SecondTouchDoesNotReseed) {
+  VertexStore<StoreData> store(4);
+  std::vector<VertexId> dirty;
+  store.MutableNext(1, dirty).a = 5;
+  store.MutableNext(1, dirty).a += 1;  // Accumulates, not reseeded.
+  store.AppendDirty(std::move(dirty));
+  EXPECT_EQ(store.dirty_list().size(), 1u);
+  store.Commit([](VertexId, const StoreData&) {});
+  EXPECT_EQ(store.Current(1).a, 6u);
+}
+
+TEST(VertexStore, CommitPromotesAndClears) {
+  VertexStore<StoreData> store(4);
+  std::vector<VertexId> dirty;
+  store.MutableNext(0, dirty).a = 1;
+  store.MutableNext(3, dirty).b = 2;
+  store.AppendDirty(std::move(dirty));
+  std::vector<VertexId> committed;
+  store.Commit([&](VertexId v, const StoreData&) { committed.push_back(v); });
+  EXPECT_EQ(committed, (std::vector<VertexId>{0, 3}));
+  EXPECT_EQ(store.Current(0).a, 1u);
+  EXPECT_EQ(store.Current(3).b, 2u);
+  EXPECT_TRUE(store.dirty_list().empty());
+  EXPECT_FALSE(store.IsDirty(0));
+}
+
+TEST(VertexStore, ApplyMirrorOverlaysOnlyMaskedFields) {
+  VertexStore<StoreData> store(2);
+  store.DirectCurrent(0) = {10, 20};
+  StoreData update{99, 77};
+  BufferWriter writer;
+  SerializeFields(update, 0b01, writer);  // Only field `a`.
+  BufferReader reader(writer.bytes());
+  store.ApplyMirror(0, 0b01, reader);
+  EXPECT_EQ(store.Current(0).a, 99u);
+  EXPECT_EQ(store.Current(0).b, 20u);  // Non-critical field untouched.
+}
+
+TEST(Metrics, AddStepAggregates) {
+  Metrics metrics;
+  StepSample s1;
+  s1.kind = StepKind::kEdgeMapSparse;
+  s1.edges_total = 10;
+  s1.bytes_total = 100;
+  s1.msgs_total = 5;
+  StepSample s2;
+  s2.kind = StepKind::kEdgeMapDense;
+  s2.edges_total = 20;
+  metrics.AddStep(s1, true);
+  metrics.AddStep(s2, true);
+  EXPECT_EQ(metrics.supersteps, 2u);
+  EXPECT_EQ(metrics.edges_scanned, 30u);
+  EXPECT_EQ(metrics.bytes, 100u);
+  EXPECT_EQ(metrics.messages, 5u);
+  EXPECT_EQ(metrics.sparse_steps, 1u);
+  EXPECT_EQ(metrics.dense_steps, 1u);
+  EXPECT_EQ(metrics.trace.size(), 2u);
+}
+
+TEST(Metrics, TraceOptional) {
+  Metrics metrics;
+  metrics.AddStep(StepSample{}, false);
+  EXPECT_EQ(metrics.supersteps, 1u);
+  EXPECT_TRUE(metrics.trace.empty());
+}
+
+Metrics MakeTrace(uint64_t edges_max, uint64_t bytes_max, int steps) {
+  Metrics metrics;
+  for (int i = 0; i < steps; ++i) {
+    StepSample s;
+    s.edges_max = edges_max;
+    s.edges_total = edges_max * 4;
+    s.bytes_max = bytes_max;
+    s.bytes_total = bytes_max * 4;
+    metrics.AddStep(s, true);
+  }
+  return metrics;
+}
+
+TEST(CostModel, BarrierFloorsEverySuperstep) {
+  Metrics metrics = MakeTrace(0, 0, 10);
+  ClusterConfig config;
+  ModeledTime t = ModelTime(metrics, config);
+  EXPECT_NEAR(t.other, 10 * config.barrier_seconds, 1e-12);
+  EXPECT_GE(t.total, t.other);
+}
+
+TEST(CostModel, ComputeDominatedScalesWithCores) {
+  Metrics metrics = MakeTrace(/*edges_max=*/10'000'000, /*bytes_max=*/0, 3);
+  ClusterConfig one;
+  one.cores_per_node = 1;
+  ClusterConfig thirty_two = one;
+  thirty_two.cores_per_node = 32;
+  double speedup =
+      ModelTime(metrics, one).total / ModelTime(metrics, thirty_two).total;
+  EXPECT_GT(speedup, 5.0);   // Near the Amdahl bound...
+  EXPECT_LT(speedup, 12.0);  // ...but clearly sublinear (9% serial).
+}
+
+TEST(CostModel, CommDominatedDoesNotScaleWithCores) {
+  Metrics metrics = MakeTrace(/*edges_max=*/100, /*bytes_max=*/50'000'000, 3);
+  ClusterConfig one;
+  one.cores_per_node = 1;
+  ClusterConfig thirty_two = one;
+  thirty_two.cores_per_node = 32;
+  double speedup =
+      ModelTime(metrics, one).total / ModelTime(metrics, thirty_two).total;
+  EXPECT_LT(speedup, 1.2);
+}
+
+TEST(CostModel, MeasuredComputeOverridesCounters) {
+  Metrics metrics;
+  StepSample s;
+  s.edges_max = 1;       // Counters see almost nothing...
+  s.comp_max = 0.5;      // ...but the measured user-function cost is large.
+  metrics.AddStep(s, true);
+  ClusterConfig config;
+  config.nodes = 1;
+  config.cores_per_node = 1;
+  EXPECT_GT(ModelTime(metrics, config).compute, 0.4);
+}
+
+TEST(CostModel, HostComputeScaleDividesMeasuredTime) {
+  Metrics metrics;
+  StepSample s;
+  s.comp_max = 0.4;
+  metrics.AddStep(s, true);
+  ClusterConfig slow_host;
+  slow_host.nodes = 1;
+  slow_host.cores_per_node = 1;
+  ClusterConfig fast_cluster = slow_host;
+  fast_cluster.host_compute_scale = 2.0;  // Cluster cores 2x faster.
+  EXPECT_NEAR(ModelTime(metrics, slow_host).compute,
+              2 * ModelTime(metrics, fast_cluster).compute, 1e-9);
+}
+
+TEST(CostModel, CalibrationProducesSaneRates) {
+  ClusterConfig config = CalibrateComputeRate();
+  EXPECT_GE(config.ns_per_edge, 0.5);
+  EXPECT_LT(config.ns_per_edge, 1000.0);
+  EXPECT_EQ(config.ns_per_vertex, 2.0 * config.ns_per_edge);
+}
+
+TEST(PartitionMetrics, TotalMirrorsMatchesMaskPopcounts) {
+  auto graph = GenerateErdosRenyi(50, 200, true, 4).value();
+  auto part = Partition::Create(graph, 5).value();
+  uint64_t expected = 0;
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    expected += static_cast<uint64_t>(__builtin_popcountll(part.MirrorMask(v)));
+  }
+  EXPECT_EQ(part.TotalMirrors(), expected);
+  EXPECT_GT(part.TotalMirrors(), 0u);
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,20 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+
+namespace flash {
+namespace {
+
+TEST(Smoke, BfsOnPath) {
+  auto graph = MakePath(10).value();
+  RuntimeOptions options;
+  options.num_workers = 3;
+  auto result = algo::RunBfs(graph, 0, options);
+  auto expected = reference::BfsDistances(*graph, 0);
+  EXPECT_EQ(result.distance, expected);
+}
+
+}  // namespace
+}  // namespace flash

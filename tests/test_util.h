@@ -1,0 +1,103 @@
+#ifndef FLASH_TESTS_TEST_UTIL_H_
+#define FLASH_TESTS_TEST_UTIL_H_
+
+#include <ostream>
+#include <string>
+
+#include "flashware/options.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace flash::testing {
+
+/// One runtime configuration for the distributed property sweeps.
+struct RuntimeCase {
+  int workers;
+  int threads;
+  EdgeMapMode mode;
+  PartitionScheme scheme;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const RuntimeCase& c) {
+  os << "w" << c.workers << "_t" << c.threads << "_";
+  switch (c.mode) {
+    case EdgeMapMode::kAdaptive:
+      os << "adaptive";
+      break;
+    case EdgeMapMode::kPush:
+      os << "push";
+      break;
+    case EdgeMapMode::kPull:
+      os << "pull";
+      break;
+  }
+  os << (c.scheme == PartitionScheme::kHash ? "_hash" : "_chunk");
+  return os;
+}
+
+inline RuntimeOptions MakeOptions(const RuntimeCase& c) {
+  RuntimeOptions options;
+  options.num_workers = c.workers;
+  options.threads_per_worker = c.threads;
+  options.edgemap_mode = c.mode;
+  options.partition = c.scheme;
+  return options;
+}
+
+/// The matrix of runtime configurations exercised by the property suites:
+/// single worker (Ligra-style), several workers, intra-worker threads, all
+/// three propagation modes, both partitioners.
+inline std::vector<RuntimeCase> AllRuntimeCases() {
+  return {
+      {1, 1, EdgeMapMode::kAdaptive, PartitionScheme::kHash},
+      {2, 1, EdgeMapMode::kAdaptive, PartitionScheme::kHash},
+      {4, 1, EdgeMapMode::kAdaptive, PartitionScheme::kHash},
+      {4, 1, EdgeMapMode::kPush, PartitionScheme::kHash},
+      {4, 1, EdgeMapMode::kPull, PartitionScheme::kHash},
+      {4, 1, EdgeMapMode::kAdaptive, PartitionScheme::kChunk},
+      {3, 2, EdgeMapMode::kAdaptive, PartitionScheme::kHash},
+      {8, 1, EdgeMapMode::kAdaptive, PartitionScheme::kChunk},
+  };
+}
+
+/// Small graphs with diverse shapes for correctness sweeps. `directed`
+/// selects non-symmetrized variants (for SCC).
+inline std::vector<std::pair<std::string, GraphPtr>> TestGraphs(
+    bool directed = false, bool weighted = false) {
+  std::vector<std::pair<std::string, GraphPtr>> graphs;
+  auto add = [&](const std::string& name, Result<GraphPtr> g) {
+    graphs.emplace_back(name, std::move(g).value());
+  };
+  bool sym = !directed;
+  add("path", MakePath(17, sym));
+  add("cycle", MakeCycle(12, sym));
+  add("star", MakeStar(15, sym));
+  add("complete", MakeComplete(9));
+  add("tree", MakeBinaryTree(31, sym));
+  add("er_small", GenerateErdosRenyi(40, 120, sym, 7, weighted));
+  add("er_medium", GenerateErdosRenyi(150, 600, sym, 11, weighted));
+  add("er_sparse", GenerateErdosRenyi(200, 180, sym, 13, weighted));
+  {
+    RmatOptions opt;
+    opt.scale = 8;
+    opt.avg_degree = 6;
+    opt.symmetrize = sym;
+    opt.weighted = weighted;
+    opt.seed = 5;
+    add("rmat", GenerateRmat(opt));
+  }
+  {
+    GridOptions opt;
+    opt.rows = 12;
+    opt.cols = 9;
+    opt.keep_prob = 0.9;
+    opt.weighted = weighted;
+    opt.seed = 3;
+    add("grid", GenerateGrid(opt));
+  }
+  return graphs;
+}
+
+}  // namespace flash::testing
+
+#endif  // FLASH_TESTS_TEST_UTIL_H_

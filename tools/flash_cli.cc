@@ -1,0 +1,408 @@
+// flash_cli — run any algorithm of the FLASH library on a graph from an
+// edge-list file, a named dataset twin, or a synthetic generator.
+//
+//   flash_cli <algorithm> [options]
+//
+//   graph source (one of):
+//     --graph=FILE        whitespace edge list ("src dst [weight]")
+//     --dataset=ABBR      OR | TW | US | EU | UK | SK (paper Table III twins)
+//     --gen=KIND          rmat | grid | web | er        (default: rmat)
+//   graph options:
+//     --scale=F           dataset/generator size factor   (default 0.25)
+//     --weighted          keep/attach edge weights
+//     --directed          skip symmetrisation
+//   runtime options:
+//     --workers=N         simulated workers               (default 4)
+//     --threads=N         threads per worker              (default 1)
+//     --mode=M            push | pull | adaptive          (default adaptive)
+//     --partition=P       hash | chunk                    (default hash)
+//   algorithm options:
+//     --root=V            source vertex (bfs, sssp, bc, ppr, diameter)
+//     --iters=N           iterations (pagerank, lpa, hits, ppr) (default 10)
+//     --k=K               k (kclique)                      (default 4)
+//   output:
+//     --output=FILE       write per-vertex results, one per line
+//     --metrics           print the run's superstep/communication metrics
+//
+// Algorithms: bfs sssp ssspdelta cc ccopt harmonic bc betweenness mis mm mmopt kcore kcoreopt
+//             tc gc scc bcc lpa msf rc kclique ktruss pagerank ppr
+//             clustering hits msbfs diameter bipartite topo densest
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "algorithms/algorithms.h"
+#include "common/logging.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace flash::cli {
+namespace {
+
+struct Args {
+  std::string algorithm;
+  std::string graph_file;
+  std::string dataset;
+  std::string generator = "rmat";
+  double scale = 0.25;
+  bool weighted = false;
+  bool directed = false;
+  int workers = 4;
+  int threads = 1;
+  std::string mode = "adaptive";
+  std::string partition = "hash";
+  VertexId root = 0;
+  int iters = 10;
+  int k = 4;
+  std::string output;
+  bool metrics = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <algorithm> [--graph=FILE | --dataset=ABBR | "
+               "--gen=KIND] [--scale=F] [--workers=N] [--mode=M] [--root=V] "
+               "[--iters=N] [--k=K] [--weighted] [--directed] "
+               "[--output=FILE] [--metrics]\n(see the header of "
+               "tools/flash_cli.cc for the full list)\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->algorithm = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    const char* v = nullptr;
+    if ((v = value("--graph="))) {
+      args->graph_file = v;
+    } else if ((v = value("--dataset="))) {
+      args->dataset = v;
+    } else if ((v = value("--gen="))) {
+      args->generator = v;
+    } else if ((v = value("--scale="))) {
+      args->scale = std::atof(v);
+    } else if ((v = value("--workers="))) {
+      args->workers = std::atoi(v);
+    } else if ((v = value("--threads="))) {
+      args->threads = std::atoi(v);
+    } else if ((v = value("--mode="))) {
+      args->mode = v;
+    } else if ((v = value("--partition="))) {
+      args->partition = v;
+    } else if ((v = value("--root="))) {
+      args->root = static_cast<VertexId>(std::atoll(v));
+    } else if ((v = value("--iters="))) {
+      args->iters = std::atoi(v);
+    } else if ((v = value("--k="))) {
+      args->k = std::atoi(v);
+    } else if ((v = value("--output="))) {
+      args->output = v;
+    } else if (arg == "--weighted") {
+      args->weighted = true;
+    } else if (arg == "--directed") {
+      args->directed = true;
+    } else if (arg == "--metrics") {
+      args->metrics = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<GraphPtr> LoadGraph(const Args& args) {
+  if (!args.graph_file.empty()) {
+    BuildOptions options;
+    options.symmetrize = !args.directed;
+    options.keep_weights = args.weighted;
+    return LoadEdgeListFile(args.graph_file, options);
+  }
+  if (!args.dataset.empty()) {
+    FLASH_ASSIGN_OR_RETURN(
+        DatasetInfo info,
+        MakeDataset(args.dataset, args.scale, args.weighted, args.directed));
+    return info.graph;
+  }
+  if (args.generator == "rmat") {
+    RmatOptions options;
+    options.scale = std::max(8, static_cast<int>(14 + std::log2(args.scale)));
+    options.symmetrize = !args.directed;
+    options.weighted = args.weighted;
+    return GenerateRmat(options);
+  }
+  if (args.generator == "grid") {
+    GridOptions options;
+    options.rows = static_cast<uint32_t>(400 * std::sqrt(args.scale) + 8);
+    options.cols = static_cast<uint32_t>(100 * std::sqrt(args.scale) + 8);
+    options.weighted = args.weighted;
+    return GenerateGrid(options);
+  }
+  if (args.generator == "web") {
+    WebGraphOptions options;
+    options.num_vertices =
+        std::max<uint32_t>(64, static_cast<uint32_t>(24000 * args.scale));
+    options.symmetrize = !args.directed;
+    options.weighted = args.weighted;
+    return GenerateWebGraph(options);
+  }
+  if (args.generator == "er") {
+    uint32_t n = std::max<uint32_t>(64, static_cast<uint32_t>(20000 * args.scale));
+    return GenerateErdosRenyi(n, uint64_t{8} * n, !args.directed, 1,
+                              args.weighted);
+  }
+  return Status::InvalidArgument("unknown generator: " + args.generator);
+}
+
+RuntimeOptions MakeRuntime(const Args& args) {
+  RuntimeOptions options;
+  options.num_workers = args.workers;
+  options.threads_per_worker = args.threads;
+  if (args.mode == "push") options.edgemap_mode = EdgeMapMode::kPush;
+  if (args.mode == "pull") options.edgemap_mode = EdgeMapMode::kPull;
+  if (args.partition == "chunk") options.partition = PartitionScheme::kChunk;
+  return options;
+}
+
+template <typename T>
+void WriteVector(const std::string& path, const std::vector<T>& values) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  for (const T& v : values) out << v << "\n";
+  std::printf("per-vertex results written to %s\n", path.c_str());
+}
+
+int Run(const Args& args) {
+  auto graph_or = LoadGraph(args);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "cannot load graph: %s\n",
+                 graph_or.status().ToString().c_str());
+    return 1;
+  }
+  GraphPtr graph = std::move(graph_or).value();
+  std::printf("graph: %u vertices, %llu edges%s%s\n", graph->NumVertices(),
+              static_cast<unsigned long long>(graph->NumEdges()),
+              graph->is_symmetric() ? ", symmetric" : ", directed",
+              graph->is_weighted() ? ", weighted" : "");
+  RuntimeOptions options = MakeRuntime(args);
+  const std::string& a = args.algorithm;
+  Metrics metrics;
+
+  if (a == "bfs") {
+    auto r = algo::RunBfs(graph, args.root, options);
+    uint64_t reached = 0;
+    for (uint32_t d : r.distance) reached += (d != algo::kInf32);
+    std::printf("bfs from %u: %llu reached, %d rounds\n", args.root,
+                static_cast<unsigned long long>(reached), r.rounds);
+    WriteVector(args.output, r.distance);
+    metrics = r.metrics;
+  } else if (a == "sssp") {
+    auto r = algo::RunSssp(graph, args.root, options);
+    std::printf("sssp from %u: %d rounds\n", args.root, r.rounds);
+    WriteVector(args.output, r.distance);
+    metrics = r.metrics;
+  } else if (a == "cc" || a == "ccopt") {
+    auto r = a == "cc" ? algo::RunCcBasic(graph, options)
+                       : algo::RunCcOpt(graph, options);
+    std::map<VertexId, uint64_t> sizes;
+    for (VertexId l : r.label) ++sizes[l];
+    std::printf("%s: %zu components, %d rounds\n", a.c_str(), sizes.size(),
+                r.rounds);
+    WriteVector(args.output, r.label);
+    metrics = r.metrics;
+  } else if (a == "bc") {
+    auto r = algo::RunBc(graph, args.root, options);
+    std::printf("bc from %u done\n", args.root);
+    WriteVector(args.output, r.dependency);
+    metrics = r.metrics;
+  } else if (a == "mis") {
+    auto r = algo::RunMis(graph, options);
+    uint64_t size = 0;
+    for (bool b : r.in_set) size += b;
+    std::printf("mis: %llu vertices in the set, %d rounds\n",
+                static_cast<unsigned long long>(size), r.rounds);
+    metrics = r.metrics;
+  } else if (a == "mm" || a == "mmopt") {
+    auto r = a == "mm" ? algo::RunMmBasic(graph, options)
+                       : algo::RunMmOpt(graph, options);
+    uint64_t matched = 0;
+    for (VertexId p : r.match) matched += (p != kInvalidVertex);
+    std::printf("%s: %llu matched vertices, %d rounds\n", a.c_str(),
+                static_cast<unsigned long long>(matched), r.rounds);
+    WriteVector(args.output, r.match);
+    metrics = r.metrics;
+  } else if (a == "kcore" || a == "kcoreopt") {
+    auto r = a == "kcore" ? algo::RunKCoreBasic(graph, options)
+                          : algo::RunKCoreOpt(graph, options);
+    uint32_t degeneracy = 0;
+    for (uint32_t c : r.core) degeneracy = std::max(degeneracy, c);
+    std::printf("%s: degeneracy %u\n", a.c_str(), degeneracy);
+    WriteVector(args.output, r.core);
+    metrics = r.metrics;
+  } else if (a == "tc") {
+    auto r = algo::RunTriangleCount(graph, options);
+    std::printf("triangles: %llu\n", static_cast<unsigned long long>(r.count));
+    metrics = r.metrics;
+  } else if (a == "rc") {
+    auto r = algo::RunRectangleCount(graph, options);
+    std::printf("rectangles: %llu\n", static_cast<unsigned long long>(r.count));
+    metrics = r.metrics;
+  } else if (a == "kclique") {
+    auto r = algo::RunKCliqueCount(graph, args.k, options);
+    std::printf("%d-cliques: %llu\n", args.k,
+                static_cast<unsigned long long>(r.count));
+    metrics = r.metrics;
+  } else if (a == "gc") {
+    auto r = algo::RunGraphColoring(graph, options);
+    uint32_t colors = 0;
+    for (uint32_t c : r.color) colors = std::max(colors, c + 1);
+    std::printf("coloring: %u colors, %d rounds\n", colors, r.rounds);
+    WriteVector(args.output, r.color);
+    metrics = r.metrics;
+  } else if (a == "scc") {
+    auto r = algo::RunScc(graph, options);
+    std::map<VertexId, uint64_t> sizes;
+    for (VertexId l : r.label) ++sizes[l];
+    std::printf("scc: %zu components, %d rounds\n", sizes.size(), r.rounds);
+    WriteVector(args.output, r.label);
+    metrics = r.metrics;
+  } else if (a == "bcc") {
+    auto r = algo::RunBcc(graph, options);
+    std::printf("bcc: %llu biconnected components\n",
+                static_cast<unsigned long long>(r.num_bcc));
+    metrics = r.metrics;
+  } else if (a == "lpa") {
+    auto r = algo::RunLpa(graph, args.iters, options);
+    std::map<VertexId, uint64_t> sizes;
+    for (VertexId l : r.label) ++sizes[l];
+    std::printf("lpa: %zu communities after %d rounds\n", sizes.size(),
+                args.iters);
+    WriteVector(args.output, r.label);
+    metrics = r.metrics;
+  } else if (a == "msf") {
+    auto r = algo::RunMsf(graph, options);
+    std::printf("msf: %zu edges, total weight %.4f\n", r.edges.size(),
+                r.total_weight);
+    metrics = r.metrics;
+  } else if (a == "pagerank") {
+    auto r = algo::RunPageRank(graph, args.iters, options);
+    WriteVector(args.output, r.rank);
+    std::printf("pagerank: %d iterations\n", args.iters);
+    metrics = r.metrics;
+  } else if (a == "ppr") {
+    auto r = algo::RunPersonalizedPageRank(graph, args.root, args.iters,
+                                           options);
+    WriteVector(args.output, r.rank);
+    std::printf("ppr from %u: %d iterations\n", args.root, args.iters);
+    metrics = r.metrics;
+  } else if (a == "clustering") {
+    auto r = algo::RunClusteringCoefficient(graph, options);
+    std::printf("average clustering coefficient: %.6f\n", r.average);
+    WriteVector(args.output, r.local);
+    metrics = r.metrics;
+  } else if (a == "hits") {
+    auto r = algo::RunHits(graph, args.iters, options);
+    WriteVector(args.output, r.authority);
+    std::printf("hits: %d iterations\n", args.iters);
+    metrics = r.metrics;
+  } else if (a == "harmonic") {
+    std::vector<VertexId> sources;
+    VertexId step = std::max<VertexId>(
+        1, graph->NumVertices() / std::max(1, args.iters * 64));
+    for (VertexId s = 0; s < graph->NumVertices(); s += step) {
+      sources.push_back(s);
+    }
+    auto r = algo::RunHarmonicCentrality(graph, sources, options);
+    std::printf("harmonic centrality from %zu sampled sources\n",
+                sources.size());
+    WriteVector(args.output, r.harmonic);
+    metrics = r.metrics;
+  } else if (a == "msbfs") {
+    std::vector<VertexId> sources;
+    for (VertexId s = 0; s < graph->NumVertices() && sources.size() < 64;
+         s += std::max<VertexId>(1, graph->NumVertices() / 64)) {
+      sources.push_back(s);
+    }
+    auto r = algo::RunMultiSourceBfs(graph, sources, options);
+    std::printf("msbfs: %zu sources, %d rounds\n", sources.size(), r.rounds);
+    WriteVector(args.output, r.harmonic);
+    metrics = r.metrics;
+  } else if (a == "diameter") {
+    auto r = algo::RunDiameterEstimate(graph, args.root, options);
+    std::printf("diameter >= %u (between %u and %u)\n", r.lower_bound,
+                r.periphery_a, r.periphery_b);
+    metrics = r.metrics;
+  } else if (a == "bipartite") {
+    auto r = algo::RunBipartiteCheck(graph, options);
+    std::printf("bipartite: %s\n", r.is_bipartite ? "yes" : "no");
+    metrics = r.metrics;
+  } else if (a == "topo") {
+    auto r = algo::RunTopologicalLayers(graph, options);
+    std::printf("topological layering: %s\n",
+                r.is_dag ? "DAG" : "contains a cycle");
+    WriteVector(args.output, r.layer);
+    metrics = r.metrics;
+  } else if (a == "ssspdelta") {
+    auto r = algo::RunSsspDeltaStepping(graph, args.root, 0.25f, options);
+    std::printf("delta-stepping sssp from %u: %d relaxation rounds\n",
+                args.root, r.rounds);
+    WriteVector(args.output, r.distance);
+    metrics = r.metrics;
+  } else if (a == "ktruss") {
+    auto r = algo::RunKTruss(graph, static_cast<uint32_t>(args.k), options);
+    std::printf("%d-truss: %llu edges remain after %d peel rounds\n", args.k,
+                static_cast<unsigned long long>(r.edges_remaining), r.rounds);
+    metrics = r.metrics;
+  } else if (a == "betweenness") {
+    std::vector<VertexId> sources;
+    for (VertexId s = 0;
+         s < graph->NumVertices() &&
+         sources.size() < static_cast<size_t>(std::max(1, args.iters));
+         s += std::max<VertexId>(1, graph->NumVertices() /
+                                        std::max(1, args.iters))) {
+      sources.push_back(s);
+    }
+    auto r = algo::RunApproxBetweenness(graph, sources, options);
+    std::printf("sampled betweenness from %zu sources\n", sources.size());
+    WriteVector(args.output, r.score);
+    metrics = r.metrics;
+  } else if (a == "densest") {
+    auto r = algo::RunDensestSubgraph(graph, 0.1, options);
+    uint64_t size = 0;
+    for (bool b : r.in_subgraph) size += b;
+    std::printf("densest subgraph (2.2-approx): density %.4f, %llu vertices\n",
+                r.density, static_cast<unsigned long long>(size));
+    metrics = r.metrics;
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n", a.c_str());
+    return 2;
+  }
+
+  if (args.metrics) {
+    std::printf("metrics: %s\n", metrics.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flash::cli
+
+int main(int argc, char** argv) {
+  flash::cli::Args args;
+  if (!flash::cli::ParseArgs(argc, argv, &args)) {
+    return flash::cli::Usage(argv[0]);
+  }
+  return flash::cli::Run(args);
+}
