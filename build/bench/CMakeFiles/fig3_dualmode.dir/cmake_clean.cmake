@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dualmode.dir/fig3_dualmode.cc.o"
+  "CMakeFiles/fig3_dualmode.dir/fig3_dualmode.cc.o.d"
+  "fig3_dualmode"
+  "fig3_dualmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dualmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_mm_frontier.dir/fig4a_mm_frontier.cc.o"
+  "CMakeFiles/fig4a_mm_frontier.dir/fig4a_mm_frontier.cc.o.d"
+  "fig4a_mm_frontier"
+  "fig4a_mm_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_mm_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4bcd_scaling.dir/fig4bcd_scaling.cc.o"
+  "CMakeFiles/fig4bcd_scaling.dir/fig4bcd_scaling.cc.o.d"
+  "fig4bcd_scaling"
+  "fig4bcd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4bcd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

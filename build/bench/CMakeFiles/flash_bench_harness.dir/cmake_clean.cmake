@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_bench_harness.dir/harness/harness.cc.o"
+  "CMakeFiles/flash_bench_harness.dir/harness/harness.cc.o.d"
+  "libflash_bench_harness.a"
+  "libflash_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

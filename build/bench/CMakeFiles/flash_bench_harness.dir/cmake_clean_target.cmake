@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflash_bench_harness.a"
+)

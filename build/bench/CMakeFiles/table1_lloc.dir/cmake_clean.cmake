@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lloc.dir/table1_lloc.cc.o"
+  "CMakeFiles/table1_lloc.dir/table1_lloc.cc.o.d"
+  "table1_lloc"
+  "table1_lloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

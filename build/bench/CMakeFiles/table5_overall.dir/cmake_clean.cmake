@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_overall.dir/table5_overall.cc.o"
+  "CMakeFiles/table5_overall.dir/table5_overall.cc.o.d"
+  "table5_overall"
+  "table5_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

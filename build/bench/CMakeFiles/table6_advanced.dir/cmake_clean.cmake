@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_advanced.dir/table6_advanced.cc.o"
+  "CMakeFiles/table6_advanced.dir/table6_advanced.cc.o.d"
+  "table6_advanced"
+  "table6_advanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

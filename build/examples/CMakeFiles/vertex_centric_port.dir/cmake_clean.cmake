@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_centric_port.dir/vertex_centric_port.cpp.o"
+  "CMakeFiles/vertex_centric_port.dir/vertex_centric_port.cpp.o.d"
+  "vertex_centric_port"
+  "vertex_centric_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_centric_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_mining.dir/web_mining.cpp.o"
+  "CMakeFiles/web_mining.dir/web_mining.cpp.o.d"
+  "web_mining"
+  "web_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

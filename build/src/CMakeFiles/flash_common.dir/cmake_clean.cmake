@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_common.dir/common/lloc.cc.o"
+  "CMakeFiles/flash_common.dir/common/lloc.cc.o.d"
+  "CMakeFiles/flash_common.dir/common/logging.cc.o"
+  "CMakeFiles/flash_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/flash_common.dir/common/status.cc.o"
+  "CMakeFiles/flash_common.dir/common/status.cc.o.d"
+  "libflash_common.a"
+  "libflash_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

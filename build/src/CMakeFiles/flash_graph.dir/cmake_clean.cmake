@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_graph.dir/graph/datasets.cc.o"
+  "CMakeFiles/flash_graph.dir/graph/datasets.cc.o.d"
+  "CMakeFiles/flash_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/flash_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/flash_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/flash_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/flash_graph.dir/graph/io.cc.o"
+  "CMakeFiles/flash_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/flash_graph.dir/graph/partition.cc.o"
+  "CMakeFiles/flash_graph.dir/graph/partition.cc.o.d"
+  "libflash_graph.a"
+  "libflash_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

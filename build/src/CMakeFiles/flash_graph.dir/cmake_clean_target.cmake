@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflash_graph.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flashware/cost_model.cc" "src/CMakeFiles/flash_ware.dir/flashware/cost_model.cc.o" "gcc" "src/CMakeFiles/flash_ware.dir/flashware/cost_model.cc.o.d"
+  "/root/repo/src/flashware/message_bus.cc" "src/CMakeFiles/flash_ware.dir/flashware/message_bus.cc.o" "gcc" "src/CMakeFiles/flash_ware.dir/flashware/message_bus.cc.o.d"
+  "/root/repo/src/flashware/metrics.cc" "src/CMakeFiles/flash_ware.dir/flashware/metrics.cc.o" "gcc" "src/CMakeFiles/flash_ware.dir/flashware/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flash_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

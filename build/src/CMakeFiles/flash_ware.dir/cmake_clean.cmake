@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_ware.dir/flashware/cost_model.cc.o"
+  "CMakeFiles/flash_ware.dir/flashware/cost_model.cc.o.d"
+  "CMakeFiles/flash_ware.dir/flashware/message_bus.cc.o"
+  "CMakeFiles/flash_ware.dir/flashware/message_bus.cc.o.d"
+  "CMakeFiles/flash_ware.dir/flashware/metrics.cc.o"
+  "CMakeFiles/flash_ware.dir/flashware/metrics.cc.o.d"
+  "libflash_ware.a"
+  "libflash_ware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_ware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

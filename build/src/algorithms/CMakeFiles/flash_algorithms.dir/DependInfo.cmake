@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bc.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/bc.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/bc.cc.o.d"
+  "/root/repo/src/algorithms/bcc.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/bcc.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/bcc.cc.o.d"
+  "/root/repo/src/algorithms/betweenness_sampled.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/betweenness_sampled.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/betweenness_sampled.cc.o.d"
+  "/root/repo/src/algorithms/bfs.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/bfs.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/bfs.cc.o.d"
+  "/root/repo/src/algorithms/bipartite.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/bipartite.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/bipartite.cc.o.d"
+  "/root/repo/src/algorithms/cc_basic.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/cc_basic.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/cc_basic.cc.o.d"
+  "/root/repo/src/algorithms/cc_opt.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/cc_opt.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/cc_opt.cc.o.d"
+  "/root/repo/src/algorithms/cl.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/cl.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/cl.cc.o.d"
+  "/root/repo/src/algorithms/clustering.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/clustering.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/clustering.cc.o.d"
+  "/root/repo/src/algorithms/densest.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/densest.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/densest.cc.o.d"
+  "/root/repo/src/algorithms/diameter.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/diameter.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/diameter.cc.o.d"
+  "/root/repo/src/algorithms/gc.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/gc.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/gc.cc.o.d"
+  "/root/repo/src/algorithms/harmonic.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/harmonic.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/harmonic.cc.o.d"
+  "/root/repo/src/algorithms/hits.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/hits.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/hits.cc.o.d"
+  "/root/repo/src/algorithms/kcore.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/kcore.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/kcore.cc.o.d"
+  "/root/repo/src/algorithms/ktruss.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/ktruss.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/ktruss.cc.o.d"
+  "/root/repo/src/algorithms/lpa.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/lpa.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/lpa.cc.o.d"
+  "/root/repo/src/algorithms/mis.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/mis.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/mis.cc.o.d"
+  "/root/repo/src/algorithms/mm_basic.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/mm_basic.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/mm_basic.cc.o.d"
+  "/root/repo/src/algorithms/mm_opt.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/mm_opt.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/mm_opt.cc.o.d"
+  "/root/repo/src/algorithms/msbfs.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/msbfs.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/msbfs.cc.o.d"
+  "/root/repo/src/algorithms/msf.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/msf.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/msf.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/pagerank.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/ppr.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/ppr.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/ppr.cc.o.d"
+  "/root/repo/src/algorithms/rc.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/rc.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/rc.cc.o.d"
+  "/root/repo/src/algorithms/scc.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/scc.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/scc.cc.o.d"
+  "/root/repo/src/algorithms/sssp.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/sssp.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/sssp.cc.o.d"
+  "/root/repo/src/algorithms/sssp_delta.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/sssp_delta.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/sssp_delta.cc.o.d"
+  "/root/repo/src/algorithms/tc.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/tc.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/tc.cc.o.d"
+  "/root/repo/src/algorithms/topo.cc" "src/algorithms/CMakeFiles/flash_algorithms.dir/topo.cc.o" "gcc" "src/algorithms/CMakeFiles/flash_algorithms.dir/topo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flash_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_ware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gas/gas_advanced.cc" "src/baselines/CMakeFiles/flash_baselines.dir/gas/gas_advanced.cc.o" "gcc" "src/baselines/CMakeFiles/flash_baselines.dir/gas/gas_advanced.cc.o.d"
+  "/root/repo/src/baselines/gas/gas_basic.cc" "src/baselines/CMakeFiles/flash_baselines.dir/gas/gas_basic.cc.o" "gcc" "src/baselines/CMakeFiles/flash_baselines.dir/gas/gas_basic.cc.o.d"
+  "/root/repo/src/baselines/gemini/gemini_algorithms.cc" "src/baselines/CMakeFiles/flash_baselines.dir/gemini/gemini_algorithms.cc.o" "gcc" "src/baselines/CMakeFiles/flash_baselines.dir/gemini/gemini_algorithms.cc.o.d"
+  "/root/repo/src/baselines/pregel/pregel_advanced.cc" "src/baselines/CMakeFiles/flash_baselines.dir/pregel/pregel_advanced.cc.o" "gcc" "src/baselines/CMakeFiles/flash_baselines.dir/pregel/pregel_advanced.cc.o.d"
+  "/root/repo/src/baselines/pregel/pregel_basic.cc" "src/baselines/CMakeFiles/flash_baselines.dir/pregel/pregel_basic.cc.o" "gcc" "src/baselines/CMakeFiles/flash_baselines.dir/pregel/pregel_basic.cc.o.d"
+  "/root/repo/src/baselines/pregel/pregel_multiphase.cc" "src/baselines/CMakeFiles/flash_baselines.dir/pregel/pregel_multiphase.cc.o" "gcc" "src/baselines/CMakeFiles/flash_baselines.dir/pregel/pregel_multiphase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flash_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_ware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_baselines.dir/gas/gas_advanced.cc.o"
+  "CMakeFiles/flash_baselines.dir/gas/gas_advanced.cc.o.d"
+  "CMakeFiles/flash_baselines.dir/gas/gas_basic.cc.o"
+  "CMakeFiles/flash_baselines.dir/gas/gas_basic.cc.o.d"
+  "CMakeFiles/flash_baselines.dir/gemini/gemini_algorithms.cc.o"
+  "CMakeFiles/flash_baselines.dir/gemini/gemini_algorithms.cc.o.d"
+  "CMakeFiles/flash_baselines.dir/pregel/pregel_advanced.cc.o"
+  "CMakeFiles/flash_baselines.dir/pregel/pregel_advanced.cc.o.d"
+  "CMakeFiles/flash_baselines.dir/pregel/pregel_basic.cc.o"
+  "CMakeFiles/flash_baselines.dir/pregel/pregel_basic.cc.o.d"
+  "CMakeFiles/flash_baselines.dir/pregel/pregel_multiphase.cc.o"
+  "CMakeFiles/flash_baselines.dir/pregel/pregel_multiphase.cc.o.d"
+  "libflash_baselines.a"
+  "libflash_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

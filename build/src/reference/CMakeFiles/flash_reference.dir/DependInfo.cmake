@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reference/reference.cc" "src/reference/CMakeFiles/flash_reference.dir/reference.cc.o" "gcc" "src/reference/CMakeFiles/flash_reference.dir/reference.cc.o.d"
+  "/root/repo/src/reference/reference_extra.cc" "src/reference/CMakeFiles/flash_reference.dir/reference_extra.cc.o" "gcc" "src/reference/CMakeFiles/flash_reference.dir/reference_extra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flash_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

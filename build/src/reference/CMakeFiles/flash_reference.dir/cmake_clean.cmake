@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_reference.dir/reference.cc.o"
+  "CMakeFiles/flash_reference.dir/reference.cc.o.d"
+  "CMakeFiles/flash_reference.dir/reference_extra.cc.o"
+  "CMakeFiles/flash_reference.dir/reference_extra.cc.o.d"
+  "libflash_reference.a"
+  "libflash_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

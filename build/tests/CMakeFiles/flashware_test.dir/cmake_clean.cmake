@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashware_test.dir/flashware_test.cc.o"
+  "CMakeFiles/flashware_test.dir/flashware_test.cc.o.d"
+  "flashware_test"
+  "flashware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

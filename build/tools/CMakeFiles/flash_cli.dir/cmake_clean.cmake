@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_cli.dir/flash_cli.cc.o"
+  "CMakeFiles/flash_cli.dir/flash_cli.cc.o.d"
+  "flash_cli"
+  "flash_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
