@@ -1,0 +1,157 @@
+// Superstep-scheduler scaling sweep: PageRank and BFS on an RMAT graph over
+// num_workers x threads_per_worker, with the concurrent scheduler measured
+// against the legacy sequential worker loop (parallel_workers = false) at
+// identical configuration. Because both modes produce bit-identical
+// frontiers and wire traffic, the ratio isolates pure scheduling speedup.
+//
+// Emits BENCH_superstep_scaling.json in the working directory. Knobs (env):
+//   FLASH_BENCH_SCALE     RMAT scale (default 18)
+//   FLASH_BENCH_PR_ITERS  PageRank iterations (default 10)
+//   FLASH_BENCH_WORKERS   comma list of worker counts (default "1,4,8")
+//   FLASH_BENCH_THREADS   comma list of threads_per_worker (default "1,4")
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "common/logging.h"
+#include "graph/generators.h"
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+std::vector<int> EnvIntList(const char* name, std::vector<int> fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  std::vector<int> list;
+  for (const char* p = value; *p != '\0';) {
+    list.push_back(std::atoi(p));
+    while (*p != '\0' && *p != ',') ++p;
+    if (*p == ',') ++p;
+  }
+  return list.empty() ? fallback : list;
+}
+
+double Now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct RunStats {
+  double seconds = 0;
+  uint64_t supersteps = 0;
+  double StepsPerSec() const {
+    return seconds > 0 ? static_cast<double>(supersteps) / seconds : 0;
+  }
+};
+
+template <typename Fn>
+RunStats Measure(Fn&& run) {
+  double start = Now();
+  flash::Metrics metrics = run();
+  RunStats stats;
+  stats.seconds = Now() - start;
+  stats.supersteps = metrics.supersteps;
+  return stats;
+}
+
+void EmitStats(FILE* out, const char* name, const RunStats& par,
+               const RunStats& seq) {
+  std::fprintf(out,
+               "      \"%s\": {\"seconds\": %.6f, \"supersteps\": %llu, "
+               "\"steps_per_sec\": %.2f, \"seq_seconds\": %.6f, "
+               "\"speedup_vs_sequential\": %.3f}",
+               name, par.seconds,
+               static_cast<unsigned long long>(par.supersteps),
+               par.StepsPerSec(), seq.seconds,
+               par.seconds > 0 ? seq.seconds / par.seconds : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  const int scale = EnvInt("FLASH_BENCH_SCALE", 18);
+  const int pr_iters = EnvInt("FLASH_BENCH_PR_ITERS", 10);
+  const std::vector<int> worker_counts =
+      EnvIntList("FLASH_BENCH_WORKERS", {1, 4, 8});
+  const std::vector<int> thread_counts =
+      EnvIntList("FLASH_BENCH_THREADS", {1, 4});
+  const int host_cpus =
+      static_cast<int>(std::thread::hardware_concurrency());
+
+  flash::RmatOptions rmat;
+  rmat.scale = scale;
+  auto graph_or = flash::GenerateRmat(rmat);
+  FLASH_CHECK(graph_or.ok()) << graph_or.status().ToString();
+  flash::GraphPtr graph = graph_or.value();
+  std::fprintf(stderr, "rmat scale=%d: %u vertices, %llu edges, %d cpus\n",
+               scale, graph->NumVertices(),
+               static_cast<unsigned long long>(graph->NumEdges()), host_cpus);
+
+  FILE* out = std::fopen("BENCH_superstep_scaling.json", "w");
+  FLASH_CHECK(out != nullptr);
+  std::fprintf(out,
+               "{\n  \"bench\": \"superstep_scaling\",\n"
+               "  \"rmat_scale\": %d,\n  \"vertices\": %u,\n"
+               "  \"edges\": %llu,\n  \"pagerank_iters\": %d,\n"
+               "  \"host_cpus\": %d,\n  \"configs\": [\n",
+               scale, graph->NumVertices(),
+               static_cast<unsigned long long>(graph->NumEdges()), pr_iters,
+               host_cpus);
+
+  bool first = true;
+  for (int nw : worker_counts) {
+    for (int tpw : thread_counts) {
+      flash::RuntimeOptions par_opts;
+      par_opts.num_workers = nw;
+      par_opts.threads_per_worker = tpw;
+      par_opts.parallel_workers = true;
+      par_opts.record_trace = false;
+      flash::RuntimeOptions seq_opts = par_opts;
+      seq_opts.parallel_workers = false;
+
+      RunStats pr_par = Measure([&] {
+        return flash::algo::RunPageRank(graph, pr_iters, par_opts).metrics;
+      });
+      RunStats pr_seq = Measure([&] {
+        return flash::algo::RunPageRank(graph, pr_iters, seq_opts).metrics;
+      });
+      RunStats bfs_par = Measure(
+          [&] { return flash::algo::RunBfs(graph, 0, par_opts).metrics; });
+      RunStats bfs_seq = Measure(
+          [&] { return flash::algo::RunBfs(graph, 0, seq_opts).metrics; });
+
+      std::fprintf(stderr,
+                   "workers=%d tpw=%d  pagerank %.3fs (seq %.3fs, x%.2f)  "
+                   "bfs %.3fs (seq %.3fs, x%.2f)\n",
+                   nw, tpw, pr_par.seconds, pr_seq.seconds,
+                   pr_par.seconds > 0 ? pr_seq.seconds / pr_par.seconds : 0.0,
+                   bfs_par.seconds, bfs_seq.seconds,
+                   bfs_par.seconds > 0 ? bfs_seq.seconds / bfs_par.seconds
+                                       : 0.0);
+
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(out,
+                   "    {\"workers\": %d, \"threads_per_worker\": %d,\n", nw,
+                   tpw);
+      EmitStats(out, "pagerank", pr_par, pr_seq);
+      std::fprintf(out, ",\n");
+      EmitStats(out, "bfs", bfs_par, bfs_seq);
+      std::fprintf(out, "\n    }");
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote BENCH_superstep_scaling.json\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/superstep_scaling.cc" "bench/CMakeFiles/superstep_scaling.dir/superstep_scaling.cc.o" "gcc" "bench/CMakeFiles/superstep_scaling.dir/superstep_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/flash_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/flash_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/flash_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_ware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superstep_scaling.dir/superstep_scaling.cc.o"
+  "CMakeFiles/superstep_scaling.dir/superstep_scaling.cc.o.d"
+  "superstep_scaling"
+  "superstep_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superstep_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

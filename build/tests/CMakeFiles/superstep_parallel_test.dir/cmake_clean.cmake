@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superstep_parallel_test.dir/superstep_parallel_test.cc.o"
+  "CMakeFiles/superstep_parallel_test.dir/superstep_parallel_test.cc.o.d"
+  "superstep_parallel_test"
+  "superstep_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superstep_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

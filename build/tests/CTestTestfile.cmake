@@ -11,7 +11,7 @@ set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/test
 add_test(graph_test "/root/repo/build/tests/graph_test")
 set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(core_test "/root/repo/build/tests/core_test")
-set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(core_test PROPERTIES  LABELS "concurrency" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(algorithms_test "/root/repo/build/tests/algorithms_test")
 set_tests_properties(algorithms_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(baselines_test "/root/repo/build/tests/baselines_test")
@@ -19,10 +19,12 @@ set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/t
 add_test(algorithms_extra_test "/root/repo/build/tests/algorithms_extra_test")
 set_tests_properties(algorithms_extra_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(engines_test "/root/repo/build/tests/engines_test")
-set_tests_properties(engines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(engines_test PROPERTIES  LABELS "concurrency" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(flashware_test "/root/repo/build/tests/flashware_test")
-set_tests_properties(flashware_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(flashware_test PROPERTIES  LABELS "concurrency" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(determinism_test "/root/repo/build/tests/determinism_test")
-set_tests_properties(determinism_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(determinism_test PROPERTIES  LABELS "concurrency" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(fuzz_test "/root/repo/build/tests/fuzz_test")
 set_tests_properties(fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(superstep_parallel_test "/root/repo/build/tests/superstep_parallel_test")
+set_tests_properties(superstep_parallel_test PROPERTIES  LABELS "concurrency" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;flash_add_test;/root/repo/tests/CMakeLists.txt;0;")

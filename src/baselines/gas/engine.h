@@ -193,7 +193,7 @@ class Engine {
         channel.WriteRaw(gather_stub_,
                          std::min(bytes - i, sizeof(gather_stub_)));
       }
-      bus_.CountMessages();
+      bus_.CountMessages(src, owner);
     }
   }
 
@@ -207,7 +207,7 @@ class Engine {
       BufferWriter& channel = bus_.Channel(owner, dst);
       channel.WriteVarint(v);
       FieldCodec::Write(channel, values_[v]);
-      bus_.CountMessages();
+      bus_.CountMessages(owner, dst);
     }
   }
 

@@ -146,7 +146,7 @@ class Engine {
           BufferWriter& channel = bus_.Channel(w, dst);
           channel.WritePod(u);
           channel.WritePod(message);
-          bus_.CountMessages();
+          bus_.CountMessages(w, dst);
         }
         // The slot runs once per out-edge, wherever the target lives.
         auto nbrs = graph_->OutNeighbors(u);
@@ -194,7 +194,7 @@ class Engine {
           BufferWriter& channel = bus_.Channel(src, w);
           channel.WritePod(v);
           channel.WritePod(message);
-          bus_.CountMessages();
+          bus_.CountMessages(src, w);
         }
         total += slot(v, message);
       }

@@ -203,7 +203,7 @@ class Engine {
             BufferWriter& channel = bus_.Channel(w, owner);
             channel.WriteVarint(out.dst);
             FieldCodec::Write(channel, out.msg);
-            bus_.CountMessages();
+            bus_.CountMessages(w, owner);
           }
         }
         queue.clear();

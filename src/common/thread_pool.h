@@ -13,13 +13,17 @@
 
 namespace flash {
 
-/// A small fork-join pool providing ParallelFor over index ranges. Each
-/// simulated worker owns one pool (the paper's "c threads per process", with
-/// two of them notionally reserved for MPI send/recv — the transport here is
-/// in-memory, so all threads compute).
+/// A small fork-join pool providing ParallelFor over index ranges and a
+/// work-stealing per-task entry point (ParallelForWorkers). One pool drives
+/// the whole simulated cluster: every worker partition of a BSP phase is a
+/// task, so all of the paper's m processes genuinely overlap on the host
+/// (the "c threads per process" are folded into the same pool; the two
+/// threads notionally reserved for MPI send/recv compute instead, since the
+/// transport is in-memory).
 ///
-/// With num_threads == 1 everything runs inline on the caller thread; this is
-/// the default on single-core hosts and keeps execution deterministic.
+/// With num_threads == 1 everything runs inline on the caller thread in
+/// index order; this is the default on single-core hosts and keeps the
+/// execution path bit-for-bit identical to the sequential worker loop.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads) : num_threads_(num_threads) {
@@ -86,6 +90,29 @@ class ThreadPool {
       size_t lo = begin + n * static_cast<size_t>(s) / shards;
       size_t hi = begin + n * static_cast<size_t>(s + 1) / shards;
       fn(s, lo, hi);
+    });
+  }
+
+  /// Runs fn(i) once for every i in [0, count) with dynamic work stealing
+  /// (one index at a time off an atomic cursor). This is the superstep
+  /// scheduler's entry point: indices are whole (worker, shard) partitions
+  /// whose sizes are skewed by the graph partition, so tasks must
+  /// load-balance rather than be split statically. Inline and in index
+  /// order when the pool has a single thread.
+  template <typename Fn>
+  void ParallelForWorkers(int count, Fn&& fn) {
+    if (count <= 0) return;
+    if (num_threads_ == 1 || count == 1) {
+      for (int i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::atomic<int> cursor{0};
+    RunOnAll([&] {
+      while (true) {
+        int i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        fn(i);
+      }
     });
   }
 

@@ -81,6 +81,18 @@ bool InvokeCond(C&& c, const VData& d, VertexId id) {
 /// Sentinel for VERTEXMAP without a map function (pure filter semantics).
 struct NoMap {};
 
+/// Identity of the simulated worker the current thread is executing for.
+/// Superstep tasks of different workers run concurrently on the host pool
+/// (RuntimeOptions::parallel_workers), so the execution context must be
+/// thread-local rather than an engine member; GraphApi::Read() resolves
+/// replica lookups through it.
+inline thread_local int tls_worker = 0;
+
+/// Binds the calling thread to worker `w` for the duration of a task.
+struct WorkerScope {
+  explicit WorkerScope(int w) { tls_worker = w; }
+};
+
 }  // namespace flash::internal
 
 namespace flash {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,17 @@ namespace flash {
 ///      that mirror it (neighbour-mask or broadcast, §IV-C).
 /// All inter-worker traffic flows byte-serialised through a MessageBus so
 /// message/byte counts equal what an MPI wire would carry.
+///
+/// Within a superstep the worker dimension is embarrassingly parallel —
+/// workers touch disjoint master sets and single-writer (src, dst) bus
+/// channels — so by default (RuntimeOptions::parallel_workers) every phase
+/// runs all (worker, shard) partitions concurrently on one work-stealing
+/// host pool, with barriers only where BSP requires them (after round-1
+/// sends, after Exchange, after mirror apply). The logical shard count and
+/// split are fixed by threads_per_worker, never by the executing thread
+/// count, and per-shard buffers are merged in worker/shard order, so
+/// frontiers, wire bytes, messages, and results are bit-identical at every
+/// host thread count.
 template <typename VData>
 class GraphApi {
  public:
@@ -45,12 +57,22 @@ class GraphApi {
         options_(options),
         partition_(MakePartitionOrDie(graph_, options)),
         bus_(options.num_workers),
-        pool_(options.threads_per_worker),
+        pool_(HostThreads(options)),
         critical_mask_(AllFieldsMask<VData>()) {
     FLASH_CHECK(graph_ != nullptr);
+    FLASH_CHECK_GE(options_.threads_per_worker, 1)
+        << "threads_per_worker fixes the logical shard count";
     stores_.reserve(options_.num_workers);
     for (int w = 0; w < options_.num_workers; ++w) {
       stores_.emplace_back(graph_->NumVertices());
+    }
+    const int shards = options_.threads_per_worker;
+    sparse_lanes_.resize(options_.num_workers);
+    local_pending_.resize(options_.num_workers);
+    for (int w = 0; w < options_.num_workers; ++w) {
+      sparse_lanes_[w].assign(
+          shards, std::vector<SparseLane>(options_.num_workers));
+      local_pending_[w].resize(shards);
     }
     forward_ = std::make_shared<internal::CsrEdgeSet<VData>>(graph_, false);
     reverse_ = std::make_shared<internal::CsrEdgeSet<VData>>(graph_, true);
@@ -67,6 +89,7 @@ class GraphApi {
   const RuntimeOptions& options() const { return options_; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
+  const MessageBus& bus() const { return bus_; }
   VertexId NumVertices() const { return graph_->NumVertices(); }
   EdgeId NumEdges() const { return graph_->NumEdges(); }
   uint32_t OutDeg(VertexId v) const { return graph_->OutDegree(v); }
@@ -103,9 +126,10 @@ class GraphApi {
 
   /// FLASHWARE's get(): the consistent current state of any vertex, read
   /// from the replica of the worker currently executing (authoritative for
-  /// masters; mirror copy otherwise). Callable from inside user functions.
+  /// masters; mirror copy otherwise). Callable from inside user functions;
+  /// the executing worker is bound per task, thread-locally.
   const VData& Read(VertexId v) const {
-    return stores_[current_worker_].Current(v);
+    return stores_[internal::tls_worker].Current(v);
   }
 
   /// Authoritative copy of every vertex's state (taken from each owner).
@@ -125,6 +149,7 @@ class GraphApi {
   std::vector<T> ExtractResults(Fn&& fn) const {
     std::vector<T> out(graph_->NumVertices());
     for (int w = 0; w < options_.num_workers; ++w) {
+      internal::WorkerScope scope(w);
       for (VertexId v : partition_.OwnedVertices(w)) {
         out[v] = fn(stores_[w].Current(v), v);
       }
@@ -253,7 +278,9 @@ class GraphApi {
   }
 
   /// EDGEMAPDENSE (pull, Algorithm 5): every worker scans its own masters v
-  /// and folds in qualifying in-edges from U sequentially; no reduce needed.
+  /// and folds in qualifying in-edges from U; per-vertex folds run inside
+  /// one (worker, shard) task, so results are order-independent of the
+  /// schedule. No reduce needed.
   template <typename F, typename M, typename C>
   VertexSubset EdgeMapDense(const VertexSubset& U, EdgeSetRef H, F&& f, M&& m,
                             C&& c) {
@@ -262,64 +289,66 @@ class GraphApi {
     sample.kind = StepKind::kEdgeMapDense;
     sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
     const Bitset& ubits = DenseBitmap(U, &sample);
+    const int num_workers = options_.num_workers;
+    const int shards = options_.threads_per_worker;
 
-    std::vector<std::vector<VertexId>> out(options_.num_workers);
+    std::vector<std::vector<VertexId>> out(num_workers);
+    std::vector<std::vector<VertexId>> shard_out(num_workers * shards);
+    std::vector<std::vector<VertexId>> shard_dirty(num_workers * shards);
+    std::vector<StepTally> task_tally(num_workers * shards);
+    std::vector<StepTally> worker_tally(num_workers);
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
-      for (int w = 0; w < options_.num_workers; ++w) {
-        Timer worker_timer;
-        current_worker_ = w;
-        VertexStore<VData>& store = stores_[w];
-        const auto& targets = partition_.OwnedVertices(w);
-        const int shards = pool_.num_threads();
-        std::vector<std::vector<VertexId>> shard_out(shards);
-        std::vector<std::vector<VertexId>> shard_dirty(shards);
-        std::vector<uint64_t> shard_edges(shards, 0);
-        pool_.ParallelShards(0, targets.size(), [&](int s, size_t lo,
-                                                    size_t hi) {
-          VData vnew;
-          for (size_t i = lo; i < hi; ++i) {
-            VertexId v = targets[i];
-            const VData& dcur = store.Current(v);
-            if (!internal::InvokeCond(c, dcur, v)) continue;
-            bool touched = false;
-            H->ForIn(v, store, [&](VertexId src, float weight) -> bool {
-              ++shard_edges[s];
-              if (touched && !internal::InvokeCond(c, vnew, v)) return false;
-              if (!ubits.Test(src)) return true;
-              const VData& scur = store.Current(src);
-              const VData& dview = touched ? vnew : dcur;
-              if (internal::InvokeEdgeF(f, scur, dview, src, v, weight)) {
-                if (!touched) {
-                  vnew = dcur;
-                  touched = true;
+      RunWorkerShards(
+          [&](int w) { return partition_.OwnedVertices(w).size(); },
+          [&](int w, int s, size_t lo, size_t hi) {
+            Timer task_timer;
+            VertexStore<VData>& store = stores_[w];
+            const auto& targets = partition_.OwnedVertices(w);
+            const int t = w * shards + s;
+            uint64_t edges = 0;
+            VData vnew;
+            for (size_t i = lo; i < hi; ++i) {
+              VertexId v = targets[i];
+              const VData& dcur = store.Current(v);
+              if (!internal::InvokeCond(c, dcur, v)) continue;
+              bool touched = false;
+              H->ForIn(v, store, [&](VertexId src, float weight) -> bool {
+                ++edges;
+                if (touched && !internal::InvokeCond(c, vnew, v)) return false;
+                if (!ubits.Test(src)) return true;
+                const VData& scur = store.Current(src);
+                const VData& dview = touched ? vnew : dcur;
+                if (internal::InvokeEdgeF(f, scur, dview, src, v, weight)) {
+                  if (!touched) {
+                    vnew = dcur;
+                    touched = true;
+                  }
+                  internal::InvokeEdgeM(m, scur, vnew, src, v, weight);
                 }
-                internal::InvokeEdgeM(m, scur, vnew, src, v, weight);
+                return true;
+              });
+              if (touched) {
+                VData& next = store.MutableNext(v, shard_dirty[t]);
+                next = std::move(vnew);
+                shard_out[t].push_back(v);
               }
-              return true;
-            });
-            if (touched) {
-              VData& next = store.MutableNext(v, shard_dirty[s]);
-              next = std::move(vnew);
-              shard_out[s].push_back(v);
             }
-          }
-        });
-        uint64_t worker_edges = 0;
+            task_tally[t].edges = edges;
+            task_tally[t].seconds = task_timer.Seconds();
+          });
+      RunPerWorker([&](int w) {
+        Timer merge_timer;
         for (int s = 0; s < shards; ++s) {
-          worker_edges += shard_edges[s];
-          AppendTo(out[w], shard_out[s]);
-          store.AppendDirty(std::move(shard_dirty[s]));
+          const int t = w * shards + s;
+          AppendTo(out[w], shard_out[t]);
+          stores_[w].AppendDirty(std::move(shard_dirty[t]));
         }
-        sample.edges_total += worker_edges;
-        sample.edges_max = std::max(sample.edges_max, worker_edges);
-        sample.verts_total += targets.size();
-        sample.verts_max = std::max<uint64_t>(sample.verts_max, targets.size());
-        double seconds = worker_timer.Seconds();
-        sample.comp_total += seconds;
-        sample.comp_max = std::max(sample.comp_max, seconds);
-      }
+        worker_tally[w].verts = partition_.OwnedVertices(w).size();
+        worker_tally[w].seconds = merge_timer.Seconds();
+      });
     }
+    FoldTallies(task_tally, shards, worker_tally, sample);
     return FinishStep(std::move(out), sample);
   }
 
@@ -336,90 +365,90 @@ class GraphApi {
     sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
     const uint32_t mask = SyncMask();
     const int num_workers = options_.num_workers;
+    const int shards = options_.threads_per_worker;
 
-    // Round 1 compute: produce per-destination update buffers. Updates to
-    // a worker's own masters skip serialisation entirely on the
-    // single-thread path (a real worker updates local memory directly; only
-    // cross-worker updates hit the wire).
-    std::vector<std::vector<uint8_t>> local_updates(num_workers);
     std::vector<std::vector<VertexId>> out(num_workers);
-    std::vector<double> worker_seconds(num_workers, 0);
+    std::vector<StepTally> task_tally(num_workers * shards);
+    std::vector<StepTally> worker_tally(num_workers);
+
+    // Round 1 compute: every (worker, shard) slice of the frontier runs as
+    // one task. Updates to the executing worker's own masters never touch
+    // the wire — they are deferred into per-shard pending lists (a real
+    // worker updates local memory directly); cross-worker updates are
+    // serialised into per-shard per-destination lanes.
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
-      for (int w = 0; w < num_workers; ++w) {
-        Timer worker_timer;
-        current_worker_ = w;
-        VertexStore<VData>& store = stores_[w];
-        const auto& frontier = U.Owned(w);
-        const int shards = pool_.num_threads();
-        const bool direct_local = (shards == 1);
-        std::vector<VertexId> local_dirty;
-        uint64_t local_applied = 0;
-        // Engine-owned scratch: reallocation-free across supersteps.
-        if (sparse_scratch_.size() != static_cast<size_t>(shards)) {
-          sparse_scratch_.assign(
-              shards, std::vector<BufferWriter>(num_workers));
-        }
-        auto& shard_buf = sparse_scratch_;
-        for (auto& row : shard_buf) {
-          for (BufferWriter& buf : row) buf.Clear();
-        }
-        std::vector<std::vector<uint64_t>> shard_msgs(
-            shards, std::vector<uint64_t>(num_workers, 0));
-        std::vector<uint64_t> shard_edges(shards, 0);
-        pool_.ParallelShards(0, frontier.size(), [&](int s, size_t lo,
-                                                     size_t hi) {
-          VData tmp;
-          for (size_t i = lo; i < hi; ++i) {
-            VertexId u = frontier[i];
-            const VData& scur = store.Current(u);
-            H->ForOut(u, store, [&](VertexId dst, float weight) {
-              ++shard_edges[s];
-              const VData& dcur = store.Current(dst);
-              if (!internal::InvokeCond(c, dcur, dst)) return;
-              if (!internal::InvokeEdgeF(f, scur, dcur, u, dst, weight)) {
-                return;
-              }
-              tmp = dcur;
-              internal::InvokeEdgeM(m, scur, tmp, u, dst, weight);
-              int owner = partition_.Owner(dst);
-              if (owner == w && direct_local) {
-                bool first = !store.IsDirty(dst);
-                VData& next = store.MutableNext(dst, local_dirty);
-                r(tmp, next);
-                if (first) out[w].push_back(dst);
-                ++local_applied;
-                return;
-              }
-              BufferWriter& buf = shard_buf[s][owner];
-              buf.WriteVarint(dst);
-              SerializeFields(tmp, mask, buf);
-              ++shard_msgs[s][owner];
-            });
-          }
-        });
-        store.AppendDirty(std::move(local_dirty));
-        uint64_t worker_edges = 0;
-        for (int s = 0; s < shards; ++s) {
-          worker_edges += shard_edges[s];
-          for (int dst = 0; dst < num_workers; ++dst) {
-            BufferWriter& buf = shard_buf[s][dst];
-            if (buf.empty()) continue;
-            if (dst == w) {
-              auto& sink = local_updates[w];
-              sink.insert(sink.end(), buf.bytes().begin(), buf.bytes().end());
-            } else {
-              bus_.Channel(w, dst).WriteRaw(buf.bytes().data(), buf.size());
-              bus_.CountMessages(shard_msgs[s][dst]);
+      RunWorkerShards(
+          [&](int w) { return U.Owned(w).size(); },
+          [&](int w, int s, size_t lo, size_t hi) {
+            Timer task_timer;
+            VertexStore<VData>& store = stores_[w];
+            const auto& frontier = U.Owned(w);
+            std::vector<SparseLane>& lanes = sparse_lanes_[w][s];
+            std::vector<LocalUpdate>& pending = local_pending_[w][s];
+            uint64_t edges = 0;
+            VData tmp;
+            for (size_t i = lo; i < hi; ++i) {
+              VertexId u = frontier[i];
+              const VData& scur = store.Current(u);
+              H->ForOut(u, store, [&](VertexId dst, float weight) {
+                ++edges;
+                const VData& dcur = store.Current(dst);
+                if (!internal::InvokeCond(c, dcur, dst)) return;
+                if (!internal::InvokeEdgeF(f, scur, dcur, u, dst, weight)) {
+                  return;
+                }
+                tmp = dcur;
+                internal::InvokeEdgeM(m, scur, tmp, u, dst, weight);
+                int owner = partition_.Owner(dst);
+                if (owner == w) {
+                  pending.push_back({dst, tmp});
+                  return;
+                }
+                SparseLane& lane = lanes[owner];
+                lane.buf.WriteVarint(dst);
+                SerializeFields(tmp, mask, lane.buf);
+                ++lane.msgs;
+              });
             }
-            buf.Clear();
+            StepTally& tally = task_tally[w * shards + s];
+            tally.edges = edges;
+            tally.seconds = task_timer.Seconds();
+          });
+
+      // Round 1 join: apply the deferred own-master updates in shard order
+      // (shards split the frontier contiguously, so this is frontier order
+      // at every shard count) and flush the shard lanes onto the bus. Each
+      // worker touches only its own store and outgoing channels.
+      RunPerWorker([&](int w) {
+        Timer merge_timer;
+        VertexStore<VData>& store = stores_[w];
+        std::vector<VertexId> dirty;
+        uint64_t applied = 0;
+        for (int s = 0; s < shards; ++s) {
+          for (LocalUpdate& update : local_pending_[w][s]) {
+            bool first = !store.IsDirty(update.dst);
+            VData& next = store.MutableNext(update.dst, dirty);
+            r(update.value, next);
+            if (first) out[w].push_back(update.dst);
+            ++applied;
+          }
+          local_pending_[w][s].clear();
+          std::vector<SparseLane>& lanes = sparse_lanes_[w][s];
+          for (int dst = 0; dst < num_workers; ++dst) {
+            SparseLane& lane = lanes[dst];
+            if (lane.buf.empty()) continue;
+            bus_.Channel(w, dst).WriteRaw(lane.buf.bytes().data(),
+                                          lane.buf.size());
+            bus_.CountMessages(w, dst, lane.msgs);
+            lane.buf.Clear();
+            lane.msgs = 0;
           }
         }
-        sample.edges_total += worker_edges;
-        sample.edges_max = std::max(sample.edges_max, worker_edges);
-        sample.verts_total += local_applied;
-        worker_seconds[w] += worker_timer.Seconds();
-      }
+        store.AppendDirty(std::move(dirty));
+        worker_tally[w].verts += applied;
+        worker_tally[w].seconds += merge_timer.Seconds();
+      });
     }
 
     // Round 1 exchange + owner-side reduce.
@@ -432,41 +461,44 @@ class GraphApi {
     }
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
-      for (int w = 0; w < num_workers; ++w) {
-        Timer worker_timer;
-        current_worker_ = w;
+      RunPerWorker([&](int w) {
+        Timer reduce_timer;
         uint64_t applied = 0;
-        applied += ApplyUpdates(w, local_updates[w], mask, r, out[w]);
         for (int src = 0; src < num_workers; ++src) {
           if (src == w) continue;
           applied += ApplyUpdates(w, bus_.Incoming(w, src), mask, r, out[w]);
         }
-        sample.verts_total += applied;
-        sample.verts_max = std::max(sample.verts_max, applied);
-        worker_seconds[w] += worker_timer.Seconds();
-      }
+        worker_tally[w].verts += applied;
+        worker_tally[w].seconds += reduce_timer.Seconds();
+      });
     }
-    for (int w = 0; w < num_workers; ++w) {
-      sample.comp_total += worker_seconds[w];
-      sample.comp_max = std::max(sample.comp_max, worker_seconds[w]);
-    }
+    FoldTallies(task_tally, shards, worker_tally, sample);
     return FinishStep(std::move(out), sample);
   }
 
   // --- global aggregation ----------------------------------------------------
 
   /// Folds map(state, id) over U with the commutative/associative `reduce`;
-  /// bills one all-reduce superstep.
+  /// bills one all-reduce superstep. Workers map their masters in parallel;
+  /// the fold itself runs in worker order on one thread, so the reduction
+  /// chain — and any floating-point rounding — is identical at every host
+  /// thread count.
   template <typename T, typename Map, typename Red>
   T Reduce(const VertexSubset& U, T init, Map&& map, Red&& reduce) {
     T acc = init;
+    std::vector<std::vector<T>> mapped(options_.num_workers);
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
-      for (int w = 0; w < options_.num_workers; ++w) {
-        current_worker_ = w;
-        for (VertexId v : U.Owned(w)) {
-          acc = reduce(acc, map(stores_[w].Current(v), v));
+      RunPerWorker([&](int w) {
+        const auto& owned = U.Owned(w);
+        std::vector<T>& values = mapped[w];
+        values.reserve(owned.size());
+        for (VertexId v : owned) {
+          values.push_back(map(stores_[w].Current(v), v));
         }
+      });
+      for (int w = 0; w < options_.num_workers; ++w) {
+        for (T& value : mapped[w]) acc = reduce(acc, value);
       }
     }
     AccountAggregate(sizeof(T), U.TotalSize());
@@ -502,23 +534,103 @@ class GraphApi {
 
   /// Runs fn(worker) for every worker with the Read() context set — the
   /// hook used by algorithms with a worker-local sequential stage (MSF's
-  /// local Kruskal, BCC's tree-join).
+  /// local Kruskal, BCC's tree-join). Sequential: user stages may share
+  /// driver-side state across workers.
   template <typename Fn>
   void ForEachWorker(Fn&& fn) {
     ScopedTimer compute_timer(&metrics_.compute_seconds);
     for (int w = 0; w < options_.num_workers; ++w) {
-      current_worker_ = w;
+      internal::WorkerScope scope(w);
       fn(w);
     }
   }
 
  private:
+  /// One (worker, shard) serialisation lane of EDGEMAPSPARSE round 1: the
+  /// wire buffer headed for one destination worker plus its message count.
+  struct SparseLane {
+    BufferWriter buf;
+    uint64_t msgs = 0;
+  };
+
+  /// A deferred round-1 update to one of the executing worker's own
+  /// masters, applied after the shard join (direct-local delivery without
+  /// serialisation, valid at any shard count).
+  struct LocalUpdate {
+    VertexId dst;
+    VData value;
+  };
+
   static Partition MakePartitionOrDie(const GraphPtr& graph,
                                       const RuntimeOptions& options) {
     auto result =
         Partition::Create(graph, options.num_workers, options.partition);
     FLASH_CHECK(result.ok()) << result.status().ToString();
     return std::move(result).value();
+  }
+
+  /// Host threads driving the simulation: with parallel_workers all worker
+  /// partitions of a superstep execute concurrently (bounded by the host's
+  /// cores unless host_threads overrides); otherwise one worker's shard
+  /// pool, as the legacy sequential loop had.
+  static int HostThreads(const RuntimeOptions& options) {
+    if (!options.parallel_workers) return options.threads_per_worker;
+    int want = options.num_workers * options.threads_per_worker;
+    int cap = options.host_threads;
+    if (cap <= 0) {
+      cap = static_cast<int>(std::thread::hardware_concurrency());
+      if (cap <= 0) cap = 1;
+    }
+    return std::max(1, std::min(want, cap));
+  }
+
+  /// Runs task(w, s, lo, hi) for every (worker, logical shard) slice of a
+  /// superstep's compute phase and blocks until all complete. The shard
+  /// count and contiguous split come from threads_per_worker — never from
+  /// the executing thread count — so the per-shard buffers each kernel
+  /// fills are identical however tasks are scheduled. The Read() context is
+  /// bound inside each task.
+  template <typename SizeFn, typename TaskFn>
+  void RunWorkerShards(SizeFn&& size_of, TaskFn&& task) {
+    const int shards = options_.threads_per_worker;
+    const int num_workers = options_.num_workers;
+    if (!options_.parallel_workers) {
+      for (int w = 0; w < num_workers; ++w) {
+        const size_t n = size_of(w);
+        pool_.ParallelShards(0, n, [&](int s, size_t lo, size_t hi) {
+          internal::WorkerScope scope(w);
+          task(w, s, lo, hi);
+        });
+      }
+      return;
+    }
+    pool_.ParallelForWorkers(num_workers * shards, [&](int t) {
+      const int w = t / shards;
+      const int s = t % shards;
+      internal::WorkerScope scope(w);
+      const size_t n = size_of(w);
+      const size_t lo = n * static_cast<size_t>(s) / shards;
+      const size_t hi = n * static_cast<size_t>(s + 1) / shards;
+      task(w, s, lo, hi);
+    });
+  }
+
+  /// Runs fn(w) once per worker and blocks until all complete — the
+  /// merge/commit/apply phases whose targets (a worker's store, its
+  /// outgoing channels, its output list) are single-writer per worker.
+  template <typename Fn>
+  void RunPerWorker(Fn&& fn) {
+    if (!options_.parallel_workers) {
+      for (int w = 0; w < options_.num_workers; ++w) {
+        internal::WorkerScope scope(w);
+        fn(w);
+      }
+      return;
+    }
+    pool_.ParallelForWorkers(options_.num_workers, [&](int w) {
+      internal::WorkerScope scope(w);
+      fn(w);
+    });
   }
 
   static void AppendTo(std::vector<VertexId>& sink,
@@ -626,47 +738,55 @@ class GraphApi {
     StepSample sample;
     sample.kind = StepKind::kVertexMap;
     sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
+    const int num_workers = options_.num_workers;
+    const int shards = options_.threads_per_worker;
 
-    std::vector<std::vector<VertexId>> out(options_.num_workers);
+    std::vector<std::vector<VertexId>> out(num_workers);
+    std::vector<std::vector<VertexId>> shard_out(num_workers * shards);
+    std::vector<std::vector<VertexId>> shard_dirty(num_workers * shards);
+    std::vector<StepTally> task_tally(num_workers * shards);
+    std::vector<StepTally> worker_tally(num_workers);
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
-      for (int w = 0; w < options_.num_workers; ++w) {
-        Timer worker_timer;
-        current_worker_ = w;
-        VertexStore<VData>& store = stores_[w];
-        const auto& owned = U.Owned(w);
-        const int shards = pool_.num_threads();
-        std::vector<std::vector<VertexId>> shard_out(shards);
-        std::vector<std::vector<VertexId>> shard_dirty(shards);
-        pool_.ParallelShards(0, owned.size(), [&](int s, size_t lo,
-                                                  size_t hi) {
-          for (size_t i = lo; i < hi; ++i) {
-            VertexId v = owned[i];
-            const VData& cur = store.Current(v);
-            if (!internal::InvokeVertexF(f, cur, v)) continue;
-            shard_out[s].push_back(v);
-            if constexpr (kHasMap) {
-              VData& next = store.MutableNext(v, shard_dirty[s]);
-              internal::InvokeVertexM(m, next, v);
+      RunWorkerShards(
+          [&](int w) { return U.Owned(w).size(); },
+          [&](int w, int s, size_t lo, size_t hi) {
+            Timer task_timer;
+            VertexStore<VData>& store = stores_[w];
+            const auto& owned = U.Owned(w);
+            const int t = w * shards + s;
+            for (size_t i = lo; i < hi; ++i) {
+              VertexId v = owned[i];
+              const VData& cur = store.Current(v);
+              if (!internal::InvokeVertexF(f, cur, v)) continue;
+              shard_out[t].push_back(v);
+              if constexpr (kHasMap) {
+                VData& next = store.MutableNext(v, shard_dirty[t]);
+                internal::InvokeVertexM(m, next, v);
+              }
             }
-          }
-        });
+            task_tally[t].seconds = task_timer.Seconds();
+          });
+      RunPerWorker([&](int w) {
+        Timer merge_timer;
         for (int s = 0; s < shards; ++s) {
-          AppendTo(out[w], shard_out[s]);
-          store.AppendDirty(std::move(shard_dirty[s]));
+          const int t = w * shards + s;
+          AppendTo(out[w], shard_out[t]);
+          stores_[w].AppendDirty(std::move(shard_dirty[t]));
         }
-        sample.verts_total += owned.size();
-        sample.verts_max = std::max<uint64_t>(sample.verts_max, owned.size());
-        double seconds = worker_timer.Seconds();
-        sample.comp_total += seconds;
-        sample.comp_max = std::max(sample.comp_max, seconds);
-      }
+        worker_tally[w].verts = U.Owned(w).size();
+        worker_tally[w].seconds = merge_timer.Seconds();
+      });
     }
+    FoldTallies(task_tally, shards, worker_tally, sample);
     return FinishStep(std::move(out), sample);
   }
 
   /// The BSP barrier ending every primitive: commit dirty masters, ship
   /// their critical fields to the mirrors that need them, deliver, account.
+  /// Both halves run all workers concurrently — commit/serialise writes
+  /// only worker w's store and outgoing channels, mirror apply only worker
+  /// w's replicas — with the Exchange() buffer flip as the barrier between.
   VertexSubset FinishStep(std::vector<std::vector<VertexId>> out,
                           StepSample sample) {
     const uint32_t mask = SyncMask();
@@ -677,7 +797,7 @@ class GraphApi {
 
     {
       ScopedTimer ser_timer(&metrics_.serialize_seconds);
-      for (int w = 0; w < num_workers; ++w) {
+      RunPerWorker([&](int w) {
         stores_[w].Commit([&](VertexId v, const VData& value) {
           uint64_t targets = broadcast
                                  ? (all_workers_mask & ~(uint64_t{1} << w))
@@ -688,15 +808,15 @@ class GraphApi {
             BufferWriter& channel = bus_.Channel(w, dst);
             channel.WriteVarint(v);
             SerializeFields(value, mask, channel);
-            bus_.CountMessages();
+            bus_.CountMessages(w, dst);
           }
         });
-      }
+      });
     }
     {
       ScopedTimer comm_timer(&metrics_.comm_seconds);
       bus_.Exchange();
-      for (int w = 0; w < num_workers; ++w) {
+      RunPerWorker([&](int w) {
         for (int src = 0; src < num_workers; ++src) {
           if (src == w) continue;
           const auto& buffer = bus_.Incoming(w, src);
@@ -707,7 +827,7 @@ class GraphApi {
             stores_[w].ApplyMirror(v, mask, reader);
           }
         }
-      }
+      });
     }
     sample.bytes_total += bus_.LastTotalBytes();
     sample.bytes_max += bus_.LastMaxWorkerBytes();
@@ -729,12 +849,13 @@ class GraphApi {
   Metrics metrics_;
   uint32_t critical_mask_;
   bool virtual_edges_ = false;
-  int current_worker_ = 0;
   EdgeSetRef forward_;
   EdgeSetRef reverse_;
-  // Scratch buffers reused by EDGEMAPSPARSE (workers run sequentially, so
-  // one set serves all of them).
-  std::vector<std::vector<BufferWriter>> sparse_scratch_;
+  // Engine-owned EDGEMAPSPARSE scratch, reallocation-free across
+  // supersteps: wire lanes and deferred own-master updates, both indexed
+  // [worker][shard] so concurrent tasks write disjoint slots.
+  std::vector<std::vector<std::vector<SparseLane>>> sparse_lanes_;
+  std::vector<std::vector<std::vector<LocalUpdate>>> local_pending_;
 };
 
 }  // namespace flash

@@ -11,16 +11,20 @@ uint64_t MessageBus::Exchange() {
   std::vector<uint64_t>& sent = sent_scratch_;
   std::vector<uint64_t>& recv = recv_scratch_;
   uint64_t total = 0;
+  uint64_t messages = 0;
   for (int src = 0; src < num_workers_; ++src) {
     for (int dst = 0; dst < num_workers_; ++dst) {
       if (src == dst) continue;
-      BufferWriter& out = outgoing_[Index(src, dst)];
+      size_t index = Index(src, dst);
+      BufferWriter& out = outgoing_[index];
       uint64_t n = out.size();
       sent[src] += n;
       recv[dst] += n;
       total += n;
+      messages += channel_messages_[index];
+      channel_messages_[index] = 0;
       // Swap, then clear: both sides keep their capacity across supersteps.
-      out.SwapBytes(incoming_[Index(src, dst)]);
+      out.SwapBytes(incoming_[index]);
       out.Clear();
     }
   }
@@ -30,8 +34,7 @@ uint64_t MessageBus::Exchange() {
     last_max_worker_bytes_ =
         std::max(last_max_worker_bytes_, std::max(sent[w], recv[w]));
   }
-  last_messages_ = phase_messages_;
-  phase_messages_ = 0;
+  last_messages_ = messages;
   total_bytes_ += total;
   total_messages_ += last_messages_;
   return total;

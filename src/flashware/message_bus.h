@@ -18,12 +18,18 @@ namespace flash {
 ///   writers fill Channel(src, dst);  // src-exclusive, src != dst
 ///   Exchange();                      // flips buffers, updates counters
 ///   readers drain Incoming(dst, src).
+///
+/// Different senders may fill their channels concurrently (the parallel
+/// superstep scheduler does): a channel and its message counter are touched
+/// only by the owning src, and Exchange() runs after the phase barrier, so
+/// no synchronisation is needed beyond that barrier.
 class MessageBus {
  public:
   explicit MessageBus(int num_workers)
       : num_workers_(num_workers),
         outgoing_(static_cast<size_t>(num_workers) * num_workers),
-        incoming_(static_cast<size_t>(num_workers) * num_workers) {
+        incoming_(static_cast<size_t>(num_workers) * num_workers),
+        channel_messages_(static_cast<size_t>(num_workers) * num_workers, 0) {
     FLASH_CHECK_GE(num_workers, 1);
   }
 
@@ -36,8 +42,13 @@ class MessageBus {
     return outgoing_[Index(src, dst)];
   }
 
-  /// Counts `n` logical messages (vertex updates) for the current phase.
-  void CountMessages(uint64_t n = 1) { phase_messages_ += n; }
+  /// Counts `n` logical messages (vertex updates) on the src→dst channel
+  /// for the current phase. Counters are per channel — each is written only
+  /// by the channel's single sender, so concurrent workers never contend —
+  /// and Exchange() folds them into the phase totals.
+  void CountMessages(int src, int dst, uint64_t n = 1) {
+    channel_messages_[Index(src, dst)] += n;
+  }
 
   /// Ends the exchange phase: outgoing buffers become readable, counters are
   /// updated. Returns total bytes moved in this phase.
@@ -66,7 +77,7 @@ class MessageBus {
   int num_workers_;
   std::vector<BufferWriter> outgoing_;
   std::vector<std::vector<uint8_t>> incoming_;
-  uint64_t phase_messages_ = 0;
+  std::vector<uint64_t> channel_messages_;
   uint64_t last_max_worker_bytes_ = 0;
   uint64_t last_total_bytes_ = 0;
   uint64_t last_messages_ = 0;

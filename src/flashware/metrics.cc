@@ -1,8 +1,31 @@
 #include "flashware/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace flash {
+
+void FoldTallies(const std::vector<StepTally>& task_tally,
+                 int shards_per_worker,
+                 const std::vector<StepTally>& worker_tally,
+                 StepSample& sample) {
+  const int num_workers = static_cast<int>(worker_tally.size());
+  for (int w = 0; w < num_workers; ++w) {
+    StepTally acc = worker_tally[w];
+    for (int s = 0; s < shards_per_worker; ++s) {
+      const StepTally& task = task_tally[w * shards_per_worker + s];
+      acc.edges += task.edges;
+      acc.verts += task.verts;
+      acc.seconds += task.seconds;
+    }
+    sample.edges_total += acc.edges;
+    sample.edges_max = std::max(sample.edges_max, acc.edges);
+    sample.verts_total += acc.verts;
+    sample.verts_max = std::max(sample.verts_max, acc.verts);
+    sample.comp_total += acc.seconds;
+    sample.comp_max = std::max(sample.comp_max, acc.seconds);
+  }
+}
 
 std::string Metrics::ToString() const {
   std::ostringstream out;

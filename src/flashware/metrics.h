@@ -37,6 +37,26 @@ struct StepSample {
   double comp_total = 0;
 };
 
+/// Single-writer work tallies for one (worker, shard) compute task or one
+/// per-worker merge pass of a superstep phase. Concurrent tasks each fill
+/// their own slot — never a shared StepSample — and FoldTallies aggregates
+/// after the phase barrier on one thread.
+struct StepTally {
+  uint64_t edges = 0;    // Edge examinations.
+  uint64_t verts = 0;    // Vertex evaluations / updates applied.
+  double seconds = 0;    // Measured task time.
+};
+
+/// Aggregates per-task tallies (shards_per_worker slots per worker, laid
+/// out worker-major) plus per-worker merge tallies into `sample`'s
+/// total/max fields. A worker's compute seconds are the sum of its shard
+/// tasks and its merge pass — the single-threaded time a real worker would
+/// spend, regardless of how the host scheduled the tasks.
+void FoldTallies(const std::vector<StepTally>& task_tally,
+                 int shards_per_worker,
+                 const std::vector<StepTally>& worker_tally,
+                 StepSample& sample);
+
 /// Cumulative metrics for one algorithm run on the simulated cluster.
 struct Metrics {
   uint64_t supersteps = 0;

@@ -22,7 +22,21 @@ struct RuntimeOptions {
 
   /// Threads in each worker's compute pool (the paper's "c cores", minus the
   /// two communication threads whose role the in-memory transport plays).
+  /// Also fixes the *logical* shard count every kernel splits a worker's
+  /// range into — shard boundaries never depend on how many host threads
+  /// actually execute, which is what keeps runs bit-identical.
   int threads_per_worker = 1;
+
+  /// Execute all worker partitions of every BSP phase concurrently on one
+  /// host pool (the paper's m processes genuinely overlap). Frontiers, wire
+  /// bytes/messages, and results are bit-identical to the sequential worker
+  /// loop — per-shard buffers are merged in worker/shard order either way.
+  /// Off keeps the legacy sequential loop (the scaling benchmark baseline).
+  bool parallel_workers = true;
+
+  /// Host threads driving the simulation when parallel_workers is on;
+  /// 0 = min(num_workers * threads_per_worker, hardware cores).
+  int host_threads = 0;
 
   PartitionScheme partition = PartitionScheme::kHash;
 

@@ -487,7 +487,8 @@ TEST(MessageBus, ExchangeMovesBytesAndCounts) {
   MessageBus bus(3);
   bus.Channel(0, 1).WritePod<uint32_t>(7);
   bus.Channel(2, 1).WritePod<uint64_t>(9);
-  bus.CountMessages(2);
+  bus.CountMessages(0, 1);
+  bus.CountMessages(2, 1);
   uint64_t moved = bus.Exchange();
   EXPECT_EQ(moved, 12u);
   EXPECT_EQ(bus.LastMessages(), 2u);

@@ -1,0 +1,184 @@
+// Stress tests for the concurrent superstep scheduler: every runtime
+// configuration — num_workers x threads_per_worker x parallel/sequential
+// execution — must produce identical results, identical per-superstep
+// frontiers, and identical wire traffic. The simulated cluster's answer (and
+// its communication bill) may depend on the partition, never on how the host
+// schedules the work.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+#include "graph/generators.h"
+
+namespace flash {
+namespace {
+
+RuntimeOptions Opts(int workers, int threads, bool parallel) {
+  RuntimeOptions options;
+  options.num_workers = workers;
+  options.threads_per_worker = threads;
+  options.parallel_workers = parallel;
+  // Force a genuinely multi-threaded pool even on small hosts so the
+  // schedule-invariance claims are exercised with real concurrency (and a
+  // ThreadSanitizer build sees the actual interleavings).
+  if (parallel) options.host_threads = workers * threads;
+  return options;
+}
+
+GraphPtr StressGraph() {
+  static GraphPtr graph =
+      GenerateErdosRenyi(400, 3200, /*symmetrize=*/true, /*seed=*/99).value();
+  return graph;
+}
+
+constexpr int kWorkerCounts[] = {1, 4, 8};
+constexpr int kThreadCounts[] = {1, 4};
+constexpr bool kParallel[] = {false, true};
+
+std::vector<std::pair<uint32_t, uint32_t>> FrontierTrace(const Metrics& m) {
+  std::vector<std::pair<uint32_t, uint32_t>> trace;
+  trace.reserve(m.trace.size());
+  for (const StepSample& s : m.trace) {
+    trace.emplace_back(s.frontier_in, s.frontier_out);
+  }
+  return trace;
+}
+
+TEST(SuperstepParallel, BfsResultsInvariantToAllConfigs) {
+  auto reference = algo::RunBfs(StressGraph(), 0, Opts(1, 1, false));
+  for (int nw : kWorkerCounts) {
+    for (int tpw : kThreadCounts) {
+      for (bool par : kParallel) {
+        auto run = algo::RunBfs(StressGraph(), 0, Opts(nw, tpw, par));
+        EXPECT_EQ(run.distance, reference.distance)
+            << "nw=" << nw << " tpw=" << tpw << " par=" << par;
+        EXPECT_EQ(run.rounds, reference.rounds);
+      }
+    }
+  }
+}
+
+TEST(SuperstepParallel, CcResultsInvariantToAllConfigs) {
+  auto reference = algo::RunCcOpt(StressGraph(), Opts(1, 1, false));
+  for (int nw : kWorkerCounts) {
+    for (int tpw : kThreadCounts) {
+      for (bool par : kParallel) {
+        auto run = algo::RunCcOpt(StressGraph(), Opts(nw, tpw, par));
+        EXPECT_EQ(run.label, reference.label)
+            << "nw=" << nw << " tpw=" << tpw << " par=" << par;
+      }
+    }
+  }
+}
+
+// For a fixed partition (= fixed num_workers), the byte/message counters and
+// the per-superstep frontier trace must be bit-identical whatever the shard
+// count or execution mode: the wire carries the same updates in the same
+// serialised order.
+TEST(SuperstepParallel, TrafficAndFrontiersInvariantToScheduling) {
+  for (int nw : kWorkerCounts) {
+    auto reference = algo::RunBfs(StressGraph(), 0, Opts(nw, 1, false));
+    auto ref_trace = FrontierTrace(reference.metrics);
+    for (int tpw : kThreadCounts) {
+      for (bool par : kParallel) {
+        auto run = algo::RunBfs(StressGraph(), 0, Opts(nw, tpw, par));
+        EXPECT_EQ(run.metrics.supersteps, reference.metrics.supersteps)
+            << "nw=" << nw << " tpw=" << tpw << " par=" << par;
+        EXPECT_EQ(run.metrics.bytes, reference.metrics.bytes)
+            << "nw=" << nw << " tpw=" << tpw << " par=" << par;
+        EXPECT_EQ(run.metrics.messages, reference.metrics.messages)
+            << "nw=" << nw << " tpw=" << tpw << " par=" << par;
+        EXPECT_EQ(run.metrics.edges_scanned, reference.metrics.edges_scanned);
+        EXPECT_EQ(run.metrics.vertices_updated,
+                  reference.metrics.vertices_updated);
+        EXPECT_EQ(FrontierTrace(run.metrics), ref_trace);
+      }
+    }
+  }
+}
+
+// PageRank folds doubles: per-vertex sums run in graph edge order inside one
+// task and the global dangling-mass Reduce folds in worker order on one
+// thread, so ranks are bit-identical across thread counts and execution
+// modes. Across different partitions the Reduce chain regroups, so only
+// near-equality holds there.
+TEST(SuperstepParallel, PageRankBitIdenticalAcrossThreads) {
+  const int kIters = 10;
+  for (int nw : kWorkerCounts) {
+    auto reference = algo::RunPageRank(StressGraph(), kIters, Opts(nw, 1, false));
+    for (int tpw : kThreadCounts) {
+      for (bool par : kParallel) {
+        auto run = algo::RunPageRank(StressGraph(), kIters, Opts(nw, tpw, par));
+        EXPECT_EQ(run.rank, reference.rank)
+            << "nw=" << nw << " tpw=" << tpw << " par=" << par;
+        EXPECT_EQ(run.metrics.bytes, reference.metrics.bytes);
+        EXPECT_EQ(run.metrics.messages, reference.metrics.messages);
+      }
+    }
+  }
+}
+
+TEST(SuperstepParallel, PageRankNearIdenticalAcrossWorkers) {
+  const int kIters = 10;
+  auto reference = algo::RunPageRank(StressGraph(), kIters, Opts(1, 1, false));
+  for (int nw : {4, 8}) {
+    auto run = algo::RunPageRank(StressGraph(), kIters, Opts(nw, 4, true));
+    ASSERT_EQ(run.rank.size(), reference.rank.size());
+    for (size_t v = 0; v < run.rank.size(); ++v) {
+      EXPECT_NEAR(run.rank[v], reference.rank[v], 1e-9) << "v=" << v;
+    }
+  }
+}
+
+// Direct GraphApi program over the bus accessor: a push-mode propagation
+// must put exactly the same bytes and logical messages on the wire at every
+// shard count and in both execution modes.
+struct HopData {
+  uint32_t value = 0xFFFFFFFFu;
+  FLASH_FIELDS(value)
+};
+
+std::pair<uint64_t, uint64_t> WireTraffic(const RuntimeOptions& options,
+                                          std::vector<uint32_t>* result) {
+  GraphApi<HopData> fl(StressGraph(), options);
+  fl.SetEdgeMapMode(EdgeMapMode::kPush);
+  VertexSubset frontier = fl.Single(0);
+  fl.VertexMap(frontier, CTrue, [](HopData& v) { v.value = 0; });
+  while (fl.Size(frontier) > 0) {
+    frontier = fl.EdgeMap(
+        frontier, fl.E(),
+        [](const HopData& s, const HopData& d) { return d.value > s.value + 1; },
+        [](const HopData& s, HopData& d) { d.value = s.value + 1; },
+        [](const HopData& d) { return d.value == 0xFFFFFFFFu; },
+        [](const HopData& t, HopData& d) {
+          if (t.value < d.value) d.value = t.value;
+        });
+  }
+  *result = fl.ExtractResults<uint32_t>(
+      [](const HopData& v, VertexId) { return v.value; });
+  return {fl.bus().TotalBytes(), fl.bus().TotalMessages()};
+}
+
+TEST(SuperstepParallel, BusTotalsInvariantToThreads) {
+  for (int nw : kWorkerCounts) {
+    std::vector<uint32_t> ref_result;
+    auto ref_wire = WireTraffic(Opts(nw, 1, false), &ref_result);
+    for (int tpw : kThreadCounts) {
+      for (bool par : kParallel) {
+        std::vector<uint32_t> result;
+        auto wire = WireTraffic(Opts(nw, tpw, par), &result);
+        EXPECT_EQ(wire, ref_wire)
+            << "nw=" << nw << " tpw=" << tpw << " par=" << par;
+        EXPECT_EQ(result, ref_result);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flash
