@@ -84,6 +84,12 @@ class BufferReader {
     pos_ += n;
   }
 
+  /// Advances past `n` bytes without copying (framed-record readers).
+  void Skip(size_t n) {
+    FLASH_CHECK_LE(pos_ + n, size_) << "BufferReader overrun";
+    pos_ += n;
+  }
+
   template <typename T>
   T ReadPod() {
     static_assert(std::is_trivially_copyable_v<T>);

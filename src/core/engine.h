@@ -16,6 +16,8 @@
 #include "core/detail.h"
 #include "core/edge_set.h"
 #include "core/vertex_subset.h"
+#include "flashware/checkpoint.h"
+#include "flashware/fault_injector.h"
 #include "flashware/message_bus.h"
 #include "flashware/metrics.h"
 #include "flashware/options.h"
@@ -76,6 +78,21 @@ class GraphApi {
     }
     forward_ = std::make_shared<internal::CsrEdgeSet<VData>>(graph_, false);
     reverse_ = std::make_shared<internal::CsrEdgeSet<VData>>(graph_, true);
+    if (options_.fault_plan.Active()) {
+      for (const CrashEvent& e : options_.fault_plan.worker_crash_schedule) {
+        FLASH_CHECK(e.worker >= 0 && e.worker < options_.num_workers)
+            << "crash schedule names worker " << e.worker << " but the "
+            << "cluster has " << options_.num_workers;
+      }
+      injector_ = std::make_unique<FaultInjector>(options_.fault_plan);
+      bus_.SetFaultInjector(injector_.get());
+      const int interval = options_.fault_plan.EffectiveCheckpointInterval();
+      if (interval > 0) {
+        ckpt_ = std::make_unique<CheckpointManager>(options_.num_workers,
+                                                    interval);
+        last_frontier_.resize(options_.num_workers);
+      }
+    }
   }
 
   GraphApi(const GraphApi&) = delete;
@@ -285,6 +302,7 @@ class GraphApi {
   VertexSubset EdgeMapDense(const VertexSubset& U, EdgeSetRef H, F&& f, M&& m,
                             C&& c) {
     CheckEdgeSet(*H, /*need_pull=*/true);
+    BeginSuperstep();
     StepSample sample;
     sample.kind = StepKind::kEdgeMapDense;
     sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
@@ -360,6 +378,7 @@ class GraphApi {
   VertexSubset EdgeMapSparse(const VertexSubset& U, EdgeSetRef H, F&& f,
                              M&& m, C&& c, R&& r) {
     CheckEdgeSet(*H, /*need_pull=*/false);
+    BeginSuperstep();
     StepSample sample;
     sample.kind = StepKind::kEdgeMapSparse;
     sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
@@ -485,6 +504,7 @@ class GraphApi {
   /// thread count.
   template <typename T, typename Map, typename Red>
   T Reduce(const VertexSubset& U, T init, Map&& map, Red&& reduce) {
+    BeginSuperstep();
     T acc = init;
     std::vector<std::vector<T>> mapped(options_.num_workers);
     {
@@ -511,6 +531,7 @@ class GraphApi {
   template <typename T>
   std::vector<T> AllGather(const std::vector<std::vector<T>>& per_worker) {
     static_assert(std::is_trivially_copyable_v<T>);
+    BeginSuperstep();
     std::vector<T> all;
     uint64_t bytes = 0;
     uint64_t max_bytes = 0;
@@ -701,6 +722,7 @@ class GraphApi {
       sample.msgs_total = pairs;
     }
     metrics_.AddStep(sample, options_.record_trace);
+    SyncFaultStats();
   }
 
   /// Owner-side fold of one serialised update buffer (sparse round 1).
@@ -735,6 +757,7 @@ class GraphApi {
   template <typename F, typename M>
   VertexSubset VertexMapImpl(const VertexSubset& U, F&& f, M&& m) {
     constexpr bool kHasMap = !std::is_same_v<std::decay_t<M>, internal::NoMap>;
+    BeginSuperstep();
     StepSample sample;
     sample.kind = StepKind::kVertexMap;
     sample.frontier_in = static_cast<uint32_t>(U.TotalSize());
@@ -787,18 +810,27 @@ class GraphApi {
   /// Both halves run all workers concurrently — commit/serialise writes
   /// only worker w's store and outgoing channels, mirror apply only worker
   /// w's replicas — with the Exchange() buffer flip as the barrier between.
+  /// Under an active checkpoint plan, each worker also redo-logs its state
+  /// mutations (committed masters, applied mirror payloads) so a crashed
+  /// worker can be rebuilt as checkpoint-image + log replay.
   VertexSubset FinishStep(std::vector<std::vector<VertexId>> out,
                           StepSample sample) {
     const uint32_t mask = SyncMask();
     const int num_workers = options_.num_workers;
     const bool broadcast = virtual_edges_ || !options_.necessary_mirrors_only;
+    const bool log_recovery = ckpt_ != nullptr;
     const uint64_t all_workers_mask =
         num_workers >= 64 ? ~uint64_t{0} : ((uint64_t{1} << num_workers) - 1);
 
     {
       ScopedTimer ser_timer(&metrics_.serialize_seconds);
       RunPerWorker([&](int w) {
+        BufferWriter commit_log;
         stores_[w].Commit([&](VertexId v, const VData& value) {
+          if (log_recovery) {
+            commit_log.WriteVarint(v);
+            SerializeFields(value, AllFieldsMask<VData>(), commit_log);
+          }
           uint64_t targets = broadcast
                                  ? (all_workers_mask & ~(uint64_t{1} << w))
                                  : partition_.MirrorMask(v);
@@ -811,6 +843,10 @@ class GraphApi {
             bus_.CountMessages(w, dst);
           }
         });
+        if (log_recovery && !commit_log.empty()) {
+          ckpt_->log(w).Append(LogRecordType::kCommit, AllFieldsMask<VData>(),
+                               commit_log.bytes().data(), commit_log.size());
+        }
       });
     }
     {
@@ -821,6 +857,10 @@ class GraphApi {
           if (src == w) continue;
           const auto& buffer = bus_.Incoming(w, src);
           if (buffer.empty()) continue;
+          if (log_recovery) {
+            ckpt_->log(w).Append(LogRecordType::kMirror, mask, buffer.data(),
+                                 buffer.size());
+          }
           BufferReader reader(buffer);
           while (!reader.AtEnd()) {
             VertexId v = static_cast<VertexId>(reader.ReadVarint());
@@ -833,11 +873,117 @@ class GraphApi {
     sample.bytes_max += bus_.LastMaxWorkerBytes();
     sample.msgs_total += bus_.LastMessages();
 
+    if (ckpt_ != nullptr) last_frontier_ = out;  // For the next snapshot.
     VertexSubset result =
         VertexSubset::FromWorkerLists(&partition_, std::move(out));
     sample.frontier_out = static_cast<uint32_t>(result.TotalSize());
     metrics_.AddStep(sample, options_.record_trace);
+    SyncFaultStats();
     return result;
+  }
+
+  /// Mirrors the injector's live counters into the run's Metrics so every
+  /// Metrics snapshot an algorithm returns carries the fault story so far.
+  void SyncFaultStats() {
+    if (injector_ != nullptr) metrics_.fault = injector_->stats();
+  }
+
+  /// Fault-plan hook at the entry of every primitive (= superstep): take a
+  /// checkpoint if one is due, then fire any worker crashes scheduled for
+  /// this superstep and rebuild the victims from the last checkpoint plus
+  /// their redo logs. Runs between primitives, where no uncommitted state is
+  /// pending, so recovery is exact. No-op without an active fault plan.
+  void BeginSuperstep() {
+    if (injector_ == nullptr) return;
+    const uint64_t step = metrics_.supersteps;
+    if (ckpt_ != nullptr && ckpt_->Due(step)) TakeCheckpoint(step);
+    for (int w : injector_->TakeCrashes(step)) RecoverWorker(w);
+    SyncFaultStats();
+  }
+
+  /// Snapshots every worker's full vertex store plus the last frontier into
+  /// sealed (checksummed) blobs and truncates the redo logs.
+  void TakeCheckpoint(uint64_t step) {
+    std::vector<std::vector<uint8_t>> states(options_.num_workers);
+    RunPerWorker([&](int w) { states[w] = EncodeWorkerState(w, step); });
+    ckpt_->StoreSnapshot(step, std::move(states),
+                         EncodeFrontierLists(step, last_frontier_),
+                         injector_->stats());
+  }
+
+  /// Serialises worker `w`'s complete store — masters and mirrors, all
+  /// fields — preceded by a small header that Decode validates.
+  std::vector<uint8_t> EncodeWorkerState(int w, uint64_t step) {
+    const VertexId n = graph_->NumVertices();
+    BufferWriter out;
+    out.WriteVarint(1);  // Snapshot format version.
+    out.WriteVarint(step);
+    out.WriteVarint(static_cast<uint64_t>(w));
+    out.WriteVarint(static_cast<uint64_t>(n));
+    const uint32_t all = AllFieldsMask<VData>();
+    VertexStore<VData>& store = stores_[w];
+    for (VertexId v = 0; v < n; ++v) {
+      SerializeFields(store.Current(v), all, out);
+    }
+    std::vector<uint8_t> blob;
+    out.SwapBytes(blob);
+    return blob;
+  }
+
+  /// Restores worker `w`'s store from a sealed snapshot blob. Rejects (with
+  /// Status, never a crash) frames that fail the checksum or whose header
+  /// does not match this run.
+  Status DecodeWorkerState(int w, const std::vector<uint8_t>& blob) {
+    FLASH_RETURN_NOT_OK(VerifyCheckpointFrame(blob));
+    BufferReader reader(blob.data(), CheckpointPayloadSize(blob));
+    if (reader.ReadVarint() != 1) {
+      return Status::IOError("checkpoint snapshot: unknown format version");
+    }
+    reader.ReadVarint();  // Step; informational.
+    if (reader.ReadVarint() != static_cast<uint64_t>(w)) {
+      return Status::IOError("checkpoint snapshot: worker id mismatch");
+    }
+    const VertexId n = graph_->NumVertices();
+    if (reader.ReadVarint() != static_cast<uint64_t>(n)) {
+      return Status::IOError("checkpoint snapshot: vertex count mismatch");
+    }
+    const uint32_t all = AllFieldsMask<VData>();
+    VertexStore<VData>& store = stores_[w];
+    for (VertexId v = 0; v < n; ++v) {
+      DeserializeFields(store.DirectCurrent(v), all, reader);
+    }
+    return Status::OK();
+  }
+
+  /// Rebuilds a crashed worker: wipe its store, restore the checkpoint
+  /// image, then replay its redo log (committed masters + applied mirror
+  /// payloads) to roll forward to the current superstep. Deterministic —
+  /// log bytes are exactly the mutations the lost supersteps performed.
+  void RecoverWorker(int w) {
+    FLASH_CHECK(ckpt_ != nullptr && ckpt_->has_snapshot())
+        << "worker " << w << " crashed before any checkpoint existed";
+    internal::WorkerScope scope(w);
+    stores_[w] = VertexStore<VData>(graph_->NumVertices());
+    Status restored = DecodeWorkerState(w, ckpt_->worker_blob(w));
+    FLASH_CHECK(restored.ok()) << restored.ToString();
+    FaultStats& stats = injector_->stats();
+    const RecoveryLog& log = ckpt_->log(w);
+    log.ForEachRecord([&](LogRecordType type, uint32_t mask,
+                          BufferReader& payload) {
+      VertexStore<VData>& store = stores_[w];
+      while (!payload.AtEnd()) {
+        VertexId v = static_cast<VertexId>(payload.ReadVarint());
+        // Both record kinds promote authoritative bytes straight into the
+        // current image: commit records carry full master values, mirror
+        // records the synced critical fields.
+        (void)type;
+        DeserializeFields(store.DirectCurrent(v), mask, payload);
+        ++stats.replayed_records;
+      }
+    });
+    ++stats.restores;
+    stats.restored_bytes += ckpt_->worker_blob(w).size();
+    stats.replayed_bytes += log.bytes();
   }
 
   GraphPtr graph_;
@@ -856,6 +1002,13 @@ class GraphApi {
   // [worker][shard] so concurrent tasks write disjoint slots.
   std::vector<std::vector<std::vector<SparseLane>>> sparse_lanes_;
   std::vector<std::vector<std::vector<LocalUpdate>>> local_pending_;
+  // Fault-injection state, armed only when options_.fault_plan.Active():
+  // the injector owns the counter-based fault PRNG + counters, the
+  // checkpoint manager the per-worker snapshots and redo logs, and
+  // last_frontier_ stashes the latest frontier for the next snapshot.
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<CheckpointManager> ckpt_;
+  std::vector<std::vector<VertexId>> last_frontier_;
 };
 
 }  // namespace flash

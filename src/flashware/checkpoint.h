@@ -1,0 +1,140 @@
+#ifndef FLASH_FLASHWARE_CHECKPOINT_H_
+#define FLASH_FLASHWARE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace flash {
+
+struct FaultStats;
+
+/// Superstep-granular checkpointing for the simulated cluster (paper-style
+/// synchronous recovery: snapshot at a superstep barrier, redo-log every
+/// later state change, rebuild a crashed worker as snapshot + log replay).
+///
+/// All persisted blobs are *sealed frames*: payload followed by a 16-byte
+/// trailer (magic + FNV-1a-64 checksum). Restores verify the trailer before
+/// touching the payload, so corruption and truncation are rejected with a
+/// Status instead of crashing the decoder — the property the checkpoint
+/// round-trip tests assert.
+
+/// Appends the frame trailer (magic + checksum of the current content).
+void SealCheckpointFrame(std::vector<uint8_t>& bytes);
+
+/// Verifies a sealed frame. OK iff the trailer is present, carries the
+/// magic, and the checksum matches the payload.
+Status VerifyCheckpointFrame(const std::vector<uint8_t>& bytes);
+
+/// Payload length of a sealed frame (precondition: VerifyCheckpointFrame ok).
+size_t CheckpointPayloadSize(const std::vector<uint8_t>& bytes);
+
+/// Frontier section codec (worker id-lists at the checkpointed superstep);
+/// the encoded blob is sealed, the decoder verifies before parsing.
+std::vector<uint8_t> EncodeFrontierLists(
+    uint64_t superstep, const std::vector<std::vector<VertexId>>& lists);
+Status DecodeFrontierLists(const std::vector<uint8_t>& sealed, uint64_t* superstep,
+                           std::vector<std::vector<VertexId>>* lists);
+
+/// Kinds of redo-log records a worker accumulates between checkpoints.
+enum class LogRecordType : uint8_t {
+  kCommit = 1,  // Own-master promotions at a barrier (all fields).
+  kMirror = 2,  // Applied mirror-sync payload (critical fields, `mask`).
+};
+
+/// Per-worker redo log: the byte-exact state mutations applied to one
+/// worker's store since the last checkpoint, in application order. Replaying
+/// the log over the checkpoint image reproduces the store bit-identically —
+/// including mirrors, whose sync payloads are logged with the field mask
+/// they were applied under. Single writer (the owning worker's barrier
+/// task); cleared whenever a new checkpoint supersedes it.
+class RecoveryLog {
+ public:
+  void Append(LogRecordType type, uint32_t mask, const uint8_t* data,
+              size_t n) {
+    buf_.WritePod(static_cast<uint8_t>(type));
+    buf_.WriteVarint(mask);
+    buf_.WriteVarint(n);
+    buf_.WriteRaw(data, n);
+    ++records_;
+  }
+
+  void Clear() {
+    buf_.Clear();
+    records_ = 0;
+  }
+
+  size_t bytes() const { return buf_.size(); }
+  size_t records() const { return records_; }
+
+  /// Calls fn(type, mask, payload_reader) per record, in append order.
+  template <typename Fn>
+  void ForEachRecord(Fn&& fn) const {
+    BufferReader reader(buf_.bytes());
+    while (!reader.AtEnd()) {
+      auto type = static_cast<LogRecordType>(reader.ReadPod<uint8_t>());
+      uint32_t mask = static_cast<uint32_t>(reader.ReadVarint());
+      size_t n = reader.ReadVarint();
+      FLASH_CHECK_LE(n, reader.remaining()) << "recovery log corrupt";
+      BufferReader payload(buf_.bytes().data() + (buf_.size() - reader.remaining()), n);
+      fn(type, mask, payload);
+      reader.Skip(n);
+    }
+  }
+
+ private:
+  BufferWriter buf_;
+  size_t records_ = 0;
+};
+
+/// Owns the latest snapshot (one sealed blob per worker + the frontier) and
+/// the per-worker redo logs, with the interval policy and byte accounting.
+/// The engine encodes/decodes worker state (it knows VData); this class
+/// handles retention, sealing, and bookkeeping.
+class CheckpointManager {
+ public:
+  CheckpointManager(int num_workers, int interval);
+
+  int interval() const { return interval_; }
+  bool has_snapshot() const { return has_snapshot_; }
+  uint64_t snapshot_step() const { return snapshot_step_; }
+
+  /// Whether a snapshot is due at `superstep` under the interval policy.
+  bool Due(uint64_t superstep) const;
+
+  /// Installs a new snapshot: seals every blob, accounts the written bytes
+  /// into `stats`, and clears the now-superseded redo logs.
+  void StoreSnapshot(uint64_t superstep,
+                     std::vector<std::vector<uint8_t>> worker_state,
+                     std::vector<uint8_t> frontier, FaultStats& stats);
+
+  /// Sealed state blob of worker `w` (precondition: has_snapshot()).
+  const std::vector<uint8_t>& worker_blob(int w) const {
+    FLASH_CHECK(has_snapshot_);
+    return worker_state_[w];
+  }
+  const std::vector<uint8_t>& frontier_blob() const {
+    FLASH_CHECK(has_snapshot_);
+    return frontier_;
+  }
+
+  RecoveryLog& log(int w) { return logs_[w]; }
+  const RecoveryLog& log(int w) const { return logs_[w]; }
+
+ private:
+  int num_workers_;
+  int interval_;
+  bool has_snapshot_ = false;
+  uint64_t snapshot_step_ = 0;
+  std::vector<std::vector<uint8_t>> worker_state_;
+  std::vector<uint8_t> frontier_;
+  std::vector<RecoveryLog> logs_;
+};
+
+}  // namespace flash
+
+#endif  // FLASH_FLASHWARE_CHECKPOINT_H_

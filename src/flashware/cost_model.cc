@@ -19,7 +19,9 @@ std::string ClusterConfig::ToString() const {
 std::string ModeledTime::ToString() const {
   std::ostringstream out;
   out << total << "s (compute=" << compute << " comm=" << comm
-      << " ser=" << serialize << " other=" << other << ")";
+      << " ser=" << serialize << " other=" << other;
+  if (recovery > 0) out << " recovery=" << recovery;
+  out << ")";
   return out.str();
 }
 
@@ -70,6 +72,25 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
     result.serialize += serialize;
     result.other += config.barrier_seconds;
     result.total += step_time;
+  }
+
+  // Fault tolerance: checkpoint writes, crash restores (detection latency +
+  // snapshot read + redo-log replay), and transport escalations that resent
+  // through the recovery path. Additive — checkpoints are synchronous at the
+  // superstep barrier in this model. Zero FaultStats (the fault-free case)
+  // contributes exactly nothing.
+  const FaultStats& fault = metrics.fault;
+  if (fault.Any()) {
+    double storage = static_cast<double>(fault.checkpoint_bytes +
+                                         fault.restored_bytes +
+                                         fault.replayed_bytes) /
+                     config.checkpoint_bytes_per_second;
+    double replay = static_cast<double>(fault.replayed_records) *
+                    config.ns_per_replay_record * 1e-9;
+    double failover = static_cast<double>(fault.restores + fault.escalations) *
+                      config.restore_latency_seconds;
+    result.recovery = storage + replay + failover;
+    result.total += result.recovery;
   }
   return result;
 }

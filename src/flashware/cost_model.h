@@ -41,6 +41,15 @@ struct ClusterConfig {
   /// §IV-C optimization 1: communication overlapped with computation.
   bool overlap_comm_compute = true;
 
+  // Fault-tolerance pricing (only engaged when the run's Metrics carry
+  // nonzero FaultStats): checkpoint storage bandwidth, per-record redo-log
+  // replay cost, and the fixed detection + failover latency of rebuilding a
+  // crashed worker (also charged per transport escalation, which resends
+  // through the same recovery path).
+  double checkpoint_bytes_per_second = 2.0e9;
+  double ns_per_replay_record = 25.0;
+  double restore_latency_seconds = 50e-3;
+
   std::string ToString() const;
 };
 
@@ -50,6 +59,7 @@ struct ModeledTime {
   double comm = 0;
   double serialize = 0;
   double other = 0;  // Barriers and bookkeeping.
+  double recovery = 0;  // Checkpoint writes + crash restores + log replay.
   double total = 0;
 
   std::string ToString() const;

@@ -10,6 +10,8 @@ uint64_t MessageBus::Exchange() {
   recv_scratch_.assign(num_workers_, 0);
   std::vector<uint64_t>& sent = sent_scratch_;
   std::vector<uint64_t>& recv = recv_scratch_;
+  const bool faulty = injector_ != nullptr && injector_->message_faults();
+  const uint64_t epoch = exchange_epoch_++;
   uint64_t total = 0;
   uint64_t messages = 0;
   for (int src = 0; src < num_workers_; ++src) {
@@ -17,12 +19,27 @@ uint64_t MessageBus::Exchange() {
       if (src == dst) continue;
       size_t index = Index(src, dst);
       BufferWriter& out = outgoing_[index];
+      messages += channel_messages_[index];
+      channel_messages_[index] = 0;
+      if (faulty) {
+        // Route the payload through the simulated unreliable wire: sent
+        // bytes include retransmissions and injected duplicates, received
+        // bytes every fragment that arrived; the reassembled payload is
+        // byte-identical to the fault-free one.
+        uint64_t wire = 0;
+        uint64_t arrived = 0;
+        injector_->TransmitChannel(epoch, src, dst, out.bytes(),
+                                   incoming_[index], &wire, &arrived);
+        out.Clear();
+        sent[src] += wire;
+        recv[dst] += arrived;
+        total += wire;
+        continue;
+      }
       uint64_t n = out.size();
       sent[src] += n;
       recv[dst] += n;
       total += n;
-      messages += channel_messages_[index];
-      channel_messages_[index] = 0;
       // Swap, then clear: both sides keep their capacity across supersteps.
       out.SwapBytes(incoming_[index]);
       out.Clear();

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/serialize.h"
+#include "flashware/fault_injector.h"
 
 namespace flash {
 
@@ -50,6 +51,14 @@ class MessageBus {
     channel_messages_[Index(src, dst)] += n;
   }
 
+  /// Attaches the run's fault injector. With message faults configured,
+  /// every Exchange() routes channel payloads through the simulated
+  /// unreliable wire (fragment drops/duplicates/reordering with seq/ack
+  /// recovery); wire-byte counters then include retransmissions. A null
+  /// injector (or a plan without message faults) keeps the exact fault-free
+  /// fast path.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
   /// Ends the exchange phase: outgoing buffers become readable, counters are
   /// updated. Returns total bytes moved in this phase.
   uint64_t Exchange();
@@ -85,6 +94,8 @@ class MessageBus {
   uint64_t total_messages_ = 0;
   std::vector<uint64_t> sent_scratch_;
   std::vector<uint64_t> recv_scratch_;
+  FaultInjector* injector_ = nullptr;
+  uint64_t exchange_epoch_ = 0;  // Keys the counter-based fault PRNG.
 };
 
 }  // namespace flash

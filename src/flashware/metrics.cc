@@ -27,6 +27,17 @@ void FoldTallies(const std::vector<StepTally>& task_tally,
   }
 }
 
+std::string FaultStats::ToString() const {
+  std::ostringstream out;
+  out << "frags=" << fragments_sent << " drops=" << drops
+      << " dups=" << duplicates << " reorders=" << reorders
+      << " retries=" << retries << " escalations=" << escalations
+      << " ckpts=" << checkpoints << " ckpt_bytes=" << checkpoint_bytes
+      << " restores=" << restores << " restored_bytes=" << restored_bytes
+      << " replayed=" << replayed_records;
+  return out.str();
+}
+
 std::string Metrics::ToString() const {
   std::ostringstream out;
   out << "supersteps=" << supersteps << " edges=" << edges_scanned
@@ -35,6 +46,7 @@ std::string Metrics::ToString() const {
       << " sparse=" << sparse_steps << " wall=" << TotalSeconds() << "s"
       << " (compute=" << compute_seconds << " comm=" << comm_seconds
       << " ser=" << serialize_seconds << " other=" << other_seconds << ")";
+  if (fault.Any()) out << " fault[" << fault.ToString() << "]";
   return out.str();
 }
 

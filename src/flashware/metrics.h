@@ -57,6 +57,40 @@ void FoldTallies(const std::vector<StepTally>& task_tally,
                  const std::vector<StepTally>& worker_tally,
                  StepSample& sample);
 
+/// Fault-injection and recovery counters of one run. All zero when the run
+/// executed without a FaultPlan. Transport counters are at fragment
+/// granularity (the unit the simulated unreliable wire drops, duplicates,
+/// and reorders); checkpoint counters are in serialised bytes. Counters are
+/// written only between superstep phases (inside Exchange() and at primitive
+/// entry), so they are deterministic for a given plan at any host thread
+/// count — the fault property tests assert exact equality across replays.
+struct FaultStats {
+  // Transport (MessageBus::Exchange under a FaultInjector).
+  uint64_t fragments_sent = 0;   // Distinct payload fragments offered.
+  uint64_t drops = 0;            // Fragment transmissions lost by the wire.
+  uint64_t duplicates = 0;       // Extra deliveries injected by the wire.
+  uint64_t reorders = 0;         // Fragments that arrived out of seq order.
+  uint64_t retries = 0;          // Retransmissions after a missing ack.
+  uint64_t escalations = 0;      // Retry budget exhausted -> recovery resend.
+  // Checkpoint / crash recovery.
+  uint64_t checkpoints = 0;        // Snapshots taken.
+  uint64_t checkpoint_bytes = 0;   // Sealed snapshot bytes written.
+  uint64_t restores = 0;           // Worker states rebuilt after a crash.
+  uint64_t restored_bytes = 0;     // Snapshot bytes read back.
+  uint64_t replayed_records = 0;   // Redo-log vertex records reapplied.
+  uint64_t replayed_bytes = 0;     // Redo-log bytes consumed by replays.
+
+  bool operator==(const FaultStats&) const = default;
+
+  bool Any() const {
+    return fragments_sent | drops | duplicates | reorders | retries |
+           escalations | checkpoints | checkpoint_bytes | restores |
+           restored_bytes | replayed_records | replayed_bytes;
+  }
+
+  std::string ToString() const;
+};
+
 /// Cumulative metrics for one algorithm run on the simulated cluster.
 struct Metrics {
   uint64_t supersteps = 0;
@@ -72,6 +106,9 @@ struct Metrics {
   double comm_seconds = 0;       // Mirror sync + message application.
   double serialize_seconds = 0;  // Encoding/decoding payloads.
   double other_seconds = 0;      // Setup, subset bookkeeping.
+
+  /// Fault-injection and recovery counters (all zero without a FaultPlan).
+  FaultStats fault;
 
   /// Per-superstep trace (present when RuntimeOptions::record_trace).
   std::vector<StepSample> trace;

@@ -1,6 +1,7 @@
 #ifndef FLASH_FLASHWARE_OPTIONS_H_
 #define FLASH_FLASHWARE_OPTIONS_H_
 
+#include "flashware/fault_injector.h"
 #include "graph/partition.h"
 
 namespace flash {
@@ -63,6 +64,12 @@ struct RuntimeOptions {
   /// Record a per-superstep trace (frontier sizes, per-step work) for the
   /// figure benchmarks. Cheap; on by default.
   bool record_trace = true;
+
+  /// Adversity the run must survive: seeded message drop/duplication/
+  /// reordering on the bus plus scheduled worker crashes with checkpoint
+  /// recovery. The default (inactive) plan adds no hooks and leaves wire
+  /// bytes, messages, and modelled cost untouched.
+  FaultPlan fault_plan;
 };
 
 }  // namespace flash

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include "algorithms/algorithms.h"
+#include "flashware/checkpoint.h"
 #include "flashware/cost_model.h"
 #include "flashware/metrics.h"
 #include "flashware/vertex_store.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "reference/reference.h"
 
 namespace flash {
 namespace {
@@ -171,6 +174,129 @@ TEST(CostModel, CalibrationProducesSaneRates) {
   EXPECT_GE(config.ns_per_edge, 0.5);
   EXPECT_LT(config.ns_per_edge, 1000.0);
   EXPECT_EQ(config.ns_per_vertex, 2.0 * config.ns_per_edge);
+}
+
+TEST(Checkpoint, SealedFrameRoundTrips) {
+  std::vector<uint8_t> frame;
+  for (int i = 0; i < 300; ++i) frame.push_back(static_cast<uint8_t>(i * 13));
+  const std::vector<uint8_t> payload = frame;
+  SealCheckpointFrame(frame);
+  ASSERT_TRUE(VerifyCheckpointFrame(frame).ok());
+  ASSERT_EQ(CheckpointPayloadSize(frame), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), frame.begin()));
+}
+
+TEST(Checkpoint, EmptyPayloadSealsAndVerifies) {
+  std::vector<uint8_t> frame;
+  SealCheckpointFrame(frame);
+  EXPECT_TRUE(VerifyCheckpointFrame(frame).ok());
+  EXPECT_EQ(CheckpointPayloadSize(frame), 0u);
+}
+
+TEST(Checkpoint, CorruptAndTruncatedFramesAreRejectedGracefully) {
+  std::vector<uint8_t> frame(100, 0xAB);
+  SealCheckpointFrame(frame);
+  ASSERT_TRUE(VerifyCheckpointFrame(frame).ok());
+
+  // Flip a payload bit: checksum mismatch, a Status — never a crash.
+  std::vector<uint8_t> corrupt = frame;
+  corrupt[40] ^= 0x01;
+  Status bad = VerifyCheckpointFrame(corrupt);
+  EXPECT_TRUE(bad.IsIOError()) << bad.ToString();
+
+  // Damage the trailer's magic.
+  std::vector<uint8_t> nomagic = frame;
+  nomagic[nomagic.size() - 16] ^= 0xFF;
+  EXPECT_TRUE(VerifyCheckpointFrame(nomagic).IsIOError());
+
+  // Truncate at every suffix length: all rejected, none crash.
+  for (size_t keep : {0u, 7u, 15u, 50u, 99u}) {
+    std::vector<uint8_t> truncated(frame.begin(), frame.begin() + keep);
+    EXPECT_TRUE(VerifyCheckpointFrame(truncated).IsIOError()) << keep;
+  }
+}
+
+TEST(Checkpoint, FrontierListsRoundTripAndRejectCorruption) {
+  std::vector<std::vector<VertexId>> lists = {{1, 5, 9}, {}, {2, 4, 6, 8}};
+  std::vector<uint8_t> sealed = EncodeFrontierLists(42, lists);
+  uint64_t step = 0;
+  std::vector<std::vector<VertexId>> decoded;
+  ASSERT_TRUE(DecodeFrontierLists(sealed, &step, &decoded).ok());
+  EXPECT_EQ(step, 42u);
+  EXPECT_EQ(decoded, lists);
+
+  sealed[1] ^= 0x10;
+  EXPECT_TRUE(DecodeFrontierLists(sealed, &step, &decoded).IsIOError());
+}
+
+TEST(Checkpoint, RecoveryLogRoundTripsRecords) {
+  RecoveryLog log;
+  EXPECT_EQ(log.records(), 0u);
+  std::vector<uint8_t> first = {1, 2, 3, 4};
+  std::vector<uint8_t> second = {9, 8};
+  log.Append(LogRecordType::kCommit, 0x3, first.data(), first.size());
+  log.Append(LogRecordType::kMirror, 0x1, second.data(), second.size());
+  EXPECT_EQ(log.records(), 2u);
+  int seen = 0;
+  log.ForEachRecord([&](LogRecordType type, uint32_t mask,
+                        BufferReader& payload) {
+    if (seen == 0) {
+      EXPECT_EQ(type, LogRecordType::kCommit);
+      EXPECT_EQ(mask, 0x3u);
+      EXPECT_EQ(payload.remaining(), first.size());
+    } else {
+      EXPECT_EQ(type, LogRecordType::kMirror);
+      EXPECT_EQ(mask, 0x1u);
+      EXPECT_EQ(payload.remaining(), second.size());
+      EXPECT_EQ(payload.ReadPod<uint8_t>(), 9);
+    }
+    ++seen;
+  });
+  EXPECT_EQ(seen, 2);
+  log.Clear();
+  EXPECT_EQ(log.records(), 0u);
+  EXPECT_EQ(log.bytes(), 0u);
+}
+
+TEST(Checkpoint, ManagerIntervalPolicyAndByteAccounting) {
+  CheckpointManager manager(2, 3);
+  FaultStats stats;
+  EXPECT_TRUE(manager.Due(0));  // No snapshot yet: always due.
+  manager.StoreSnapshot(0, {{1, 2, 3}, {4, 5}}, EncodeFrontierLists(0, {{}, {}}),
+                        stats);
+  EXPECT_EQ(stats.checkpoints, 1u);
+  EXPECT_GT(stats.checkpoint_bytes, 0u);
+  EXPECT_FALSE(manager.Due(1));
+  EXPECT_FALSE(manager.Due(2));
+  EXPECT_TRUE(manager.Due(3));
+  // Stored blobs were sealed by the manager and verify cleanly.
+  EXPECT_TRUE(VerifyCheckpointFrame(manager.worker_blob(0)).ok());
+  EXPECT_TRUE(VerifyCheckpointFrame(manager.worker_blob(1)).ok());
+  EXPECT_EQ(CheckpointPayloadSize(manager.worker_blob(0)), 3u);
+}
+
+TEST(Checkpoint, IntervalOneAndIntervalNRecoverIdenticalResults) {
+  // A run that crashes twice must recover to the same answer whether it
+  // checkpoints every superstep (tiny replay) or rarely (long replay).
+  auto graph = GenerateErdosRenyi(120, 500, true, 9).value();
+  auto oracle = reference::BfsDistances(*graph, 0);
+  FaultStats previous;
+  for (int interval : {1, 4, 50}) {
+    RuntimeOptions options;
+    options.num_workers = 4;
+    options.fault_plan.seed = 5;
+    options.fault_plan.checkpoint_interval = interval;
+    options.fault_plan.worker_crash_schedule = {{3, 1}, {7, 2}};
+    auto run = algo::RunBfs(graph, 0, options);
+    EXPECT_EQ(run.distance, oracle) << "interval " << interval;
+    EXPECT_EQ(run.metrics.fault.restores, 2u) << "interval " << interval;
+    if (interval > 1) {
+      // Rarer checkpoints write fewer snapshot bytes but replay more log.
+      EXPECT_LT(run.metrics.fault.checkpoints, previous.checkpoints);
+      EXPECT_GE(run.metrics.fault.replayed_records, previous.replayed_records);
+    }
+    previous = run.metrics.fault;
+  }
 }
 
 TEST(PartitionMetrics, TotalMirrorsMatchesMaskPopcounts) {

@@ -146,6 +146,108 @@ TEST(EngineFuzz, AllConfigurationsAgree) {
   }
 }
 
+/// A pseudo-random fault plan spanning the interesting regimes: any subset
+/// of {drops, dups, reorders}, occasional tight retry budgets, occasional
+/// crash schedules, varying fragment sizes.
+FaultPlan RandomPlan(Rng& rng, int num_workers) {
+  FaultPlan plan;
+  plan.seed = rng.Uniform(1u << 30) + 1;
+  if (rng.Uniform(2)) plan.msg_drop_rate = 0.05 * (1 + rng.Uniform(6));
+  if (rng.Uniform(2)) plan.msg_dup_rate = 0.05 * (1 + rng.Uniform(6));
+  if (rng.Uniform(2)) plan.msg_reorder_rate = 0.1 * (1 + rng.Uniform(5));
+  plan.fragment_bytes = 16u << rng.Uniform(5);  // 16..256.
+  if (rng.Uniform(3) == 0) plan.max_retries = static_cast<int>(rng.Uniform(3));
+  if (rng.Uniform(2)) {
+    int crashes = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < crashes; ++i) {
+      plan.worker_crash_schedule.push_back(
+          {rng.Uniform(10), static_cast<int>(rng.Uniform(num_workers))});
+    }
+  }
+  if (rng.Uniform(2)) {
+    plan.checkpoint_interval = 1 + static_cast<int>(rng.Uniform(5));
+  }
+  return plan;
+}
+
+TEST(EngineFuzz, RandomFaultPlansPreserveSemantics) {
+  // Random graphs x random runtime configs x random adversity: the faulted
+  // run must be indistinguishable from the fault-free one at the semantic
+  // level (identical frontier sizes every step — no lost or phantom updates
+  // — and identical final state), while the fault counters replay exactly.
+  Rng rng(20240806);
+  for (int trial = 0; trial < 12; ++trial) {
+    auto graph = GenerateErdosRenyi(50 + rng.Uniform(120), 250 + rng.Uniform(400),
+                                    true, rng.Uniform(1u << 20)).value();
+    RuntimeOptions options;
+    options.num_workers = 2 + static_cast<int>(rng.Uniform(7));
+    options.threads_per_worker = 1 + static_cast<int>(rng.Uniform(3));
+    options.partition =
+        rng.Uniform(2) ? PartitionScheme::kHash : PartitionScheme::kChunk;
+    uint64_t program_seed = rng.Uniform(1u << 20);
+
+    Trace baseline = RunProgram(graph, program_seed, /*steps=*/10, options);
+
+    RuntimeOptions faulted = options;
+    faulted.fault_plan = RandomPlan(rng, options.num_workers);
+    if (!faulted.fault_plan.Active()) continue;  // Rarely all-zero; skip.
+    Trace chaos = RunProgram(graph, program_seed, /*steps=*/10, faulted);
+    ASSERT_EQ(chaos.frontier_sizes, baseline.frontier_sizes)
+        << "trial " << trial << " plan " << faulted.fault_plan.ToString();
+    ASSERT_EQ(chaos.state.size(), baseline.state.size());
+    for (VertexId v = 0; v < baseline.state.size(); ++v) {
+      ASSERT_EQ(chaos.state[v], baseline.state[v])
+          << "trial " << trial << " vertex " << v << " plan "
+          << faulted.fault_plan.ToString();
+    }
+  }
+}
+
+TEST(EngineFuzz, MetricsBytesMatchBusWireTotals) {
+  // Byte conservation: for push-only programs every counted byte crosses the
+  // MessageBus (dense edge maps and global reductions add modelled bitmap /
+  // collective bytes outside the bus), so Metrics totals must equal the bus
+  // totals exactly — with and without an adversarial wire.
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto graph =
+        GenerateErdosRenyi(60 + rng.Uniform(80), 300, true, 3 + trial).value();
+    RuntimeOptions options;
+    options.num_workers = 2 + static_cast<int>(rng.Uniform(5));
+    options.threads_per_worker = 1 + static_cast<int>(rng.Uniform(2));
+    if (trial % 2 == 1) {
+      options.fault_plan = RandomPlan(rng, options.num_workers);
+      options.fault_plan.worker_crash_schedule.clear();  // Transport only.
+      options.fault_plan.checkpoint_interval = 0;
+    }
+    GraphApi<FuzzData> fl(graph, options);
+    VertexSubset frontier = fl.V();
+    for (int step = 0; step < 8; ++step) {
+      if (frontier.TotalSize() == 0) frontier = fl.V();
+      if (step % 2 == 0) {
+        frontier = fl.VertexMap(
+            frontier,
+            [](const FuzzData&, VertexId id) { return id % 5 != 1; },
+            [step](FuzzData& v, VertexId id) { v.x += id + step; });
+      } else {
+        frontier = fl.EdgeMapSparse(
+            frontier, fl.E(),
+            [](const FuzzData& s, const FuzzData&) { return s.x % 4 != 0; },
+            [](const FuzzData& s, FuzzData& d) { d.y += s.x % 501; },
+            CTrue,
+            [](const FuzzData& t, FuzzData& d) { d.y += t.y; });
+      }
+    }
+    ASSERT_EQ(fl.metrics().dense_steps, 0u) << "trial " << trial;
+    EXPECT_EQ(fl.metrics().bytes, fl.bus().TotalBytes()) << "trial " << trial;
+    EXPECT_EQ(fl.metrics().messages, fl.bus().TotalMessages())
+        << "trial " << trial;
+    if (options.fault_plan.HasMessageFaults()) {
+      EXPECT_TRUE(fl.metrics().fault.Any()) << "trial " << trial;
+    }
+  }
+}
+
 TEST(EngineFuzz, XorPushIsSelfInverseAcrossWorkers) {
   // Regression guard for the idempotence caveat in case 4: XOR'ing twice
   // through two identical EdgeMaps must restore the initial state
