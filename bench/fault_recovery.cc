@@ -5,7 +5,7 @@
 // fault-free baseline. Results are bit-identical by construction, so every
 // delta is pure fault-handling overhead.
 //
-// Emits BENCH_fault_recovery.json in the working directory. Knobs (env):
+// Emits out/BENCH_fault_recovery.json (out/ is created if needed). Knobs (env):
 //   FLASH_BENCH_SCALE        RMAT scale (default 16)
 //   FLASH_BENCH_PR_ITERS     PageRank iterations (default 10)
 //   FLASH_BENCH_DROP_PCTS    comma list of drop percentages (default "0,5,20")
@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "algorithms/algorithms.h"
+#include "bench/harness/harness.h"
 #include "common/logging.h"
 #include "flashware/cost_model.h"
 #include "graph/generators.h"
@@ -138,7 +139,9 @@ int main() {
   flash::ClusterConfig cluster;
   cluster.nodes = base.num_workers;
 
-  FILE* out = std::fopen("BENCH_fault_recovery.json", "w");
+  const std::string out_path =
+      flash::bench::OutPath("BENCH_fault_recovery.json");
+  FILE* out = std::fopen(out_path.c_str(), "w");
   FLASH_CHECK(out != nullptr);
   std::fprintf(out,
                "{\n  \"bench\": \"fault_recovery\",\n"
@@ -183,5 +186,6 @@ int main() {
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -43,7 +43,7 @@ int Main() {
   }
   table.Print();
   std::printf("\n(cell note = dense/sparse EDGEMAP supersteps chosen)\n");
-  table.WriteCsv("fig3_dualmode.csv");
+  table.WriteCsv(flash::bench::OutPath("fig3_dualmode.csv"));
   return 0;
 }
 

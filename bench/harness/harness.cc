@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "common/logging.h"
@@ -27,6 +28,12 @@ int BenchWorkers() {
     return value >= 1 && value <= 64 ? value : 4;
   }();
   return workers;
+}
+
+std::string OutPath(const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories("out", ec);
+  return (std::filesystem::path("out") / filename).string();
 }
 
 const DatasetInfo& LoadDataset(const std::string& abbr, bool weighted,

@@ -25,6 +25,11 @@ double BenchScale();
 /// matching the paper's 4-node cluster).
 int BenchWorkers();
 
+/// Path for a bench artifact: out/<filename> under the working directory,
+/// creating out/ on first use. Every bench binary writes its CSV/JSON
+/// artifacts through this so generated files never land in the source tree.
+std::string OutPath(const std::string& filename);
+
 /// Loads (and caches) a dataset twin at the bench scale.
 const DatasetInfo& LoadDataset(const std::string& abbr, bool weighted = false,
                                bool directed = false);

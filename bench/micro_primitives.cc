@@ -30,7 +30,7 @@ GraphPtr BenchGraph() {
 RuntimeOptions Workers(int64_t n) {
   RuntimeOptions options;
   options.num_workers = static_cast<int>(n);
-  options.record_trace = false;
+  options.record_steps = false;
   return options;
 }
 

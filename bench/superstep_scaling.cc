@@ -4,7 +4,7 @@
 // identical configuration. Because both modes produce bit-identical
 // frontiers and wire traffic, the ratio isolates pure scheduling speedup.
 //
-// Emits BENCH_superstep_scaling.json in the working directory. Knobs (env):
+// Emits out/BENCH_superstep_scaling.json (out/ is created if needed). Knobs (env):
 //   FLASH_BENCH_SCALE     RMAT scale (default 18)
 //   FLASH_BENCH_PR_ITERS  PageRank iterations (default 10)
 //   FLASH_BENCH_WORKERS   comma list of worker counts (default "1,4,8")
@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "algorithms/algorithms.h"
+#include "bench/harness/harness.h"
 #include "common/logging.h"
 #include "graph/generators.h"
 
@@ -97,7 +98,9 @@ int main() {
                scale, graph->NumVertices(),
                static_cast<unsigned long long>(graph->NumEdges()), host_cpus);
 
-  FILE* out = std::fopen("BENCH_superstep_scaling.json", "w");
+  const std::string out_path =
+      flash::bench::OutPath("BENCH_superstep_scaling.json");
+  FILE* out = std::fopen(out_path.c_str(), "w");
   FLASH_CHECK(out != nullptr);
   std::fprintf(out,
                "{\n  \"bench\": \"superstep_scaling\",\n"
@@ -115,7 +118,7 @@ int main() {
       par_opts.num_workers = nw;
       par_opts.threads_per_worker = tpw;
       par_opts.parallel_workers = true;
-      par_opts.record_trace = false;
+      par_opts.record_steps = false;
       flash::RuntimeOptions seq_opts = par_opts;
       seq_opts.parallel_workers = false;
 
@@ -152,6 +155,6 @@ int main() {
   }
   std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);
-  std::fprintf(stderr, "wrote BENCH_superstep_scaling.json\n");
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   return 0;
 }

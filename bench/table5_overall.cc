@@ -254,12 +254,12 @@ int Main() {
                         {"Gemini", &tables.gemini},
                         {"Ligra", &tables.ligra},
                         {"FLASH", &tables.flash}});
-  tables.pregel.WriteCsv("table5_pregel.csv");
-  tables.gas.WriteCsv("table5_powergraph.csv");
-  tables.gemini.WriteCsv("table5_gemini.csv");
-  tables.ligra.WriteCsv("table5_ligra.csv");
-  tables.flash.WriteCsv("table5_flash.csv");
-  std::printf("\nCSV written: table5_{pregel,powergraph,gemini,ligra,flash}.csv\n");
+  tables.pregel.WriteCsv(flash::bench::OutPath("table5_pregel.csv"));
+  tables.gas.WriteCsv(flash::bench::OutPath("table5_powergraph.csv"));
+  tables.gemini.WriteCsv(flash::bench::OutPath("table5_gemini.csv"));
+  tables.ligra.WriteCsv(flash::bench::OutPath("table5_ligra.csv"));
+  tables.flash.WriteCsv(flash::bench::OutPath("table5_flash.csv"));
+  std::printf("\nCSV written: out/table5_{pregel,powergraph,gemini,ligra,flash}.csv\n");
   return 0;
 }
 

@@ -93,9 +93,9 @@ int Main() {
   baseline.Print();
   flash.Print();
   PrintSlowdownHeatmap({{"Baseline", &baseline}, {"FLASH", &flash}});
-  baseline.WriteCsv("table6_baseline.csv");
-  flash.WriteCsv("table6_flash.csv");
-  std::printf("\nCSV written: table6_{baseline,flash}.csv\n");
+  baseline.WriteCsv(flash::bench::OutPath("table6_baseline.csv"));
+  flash.WriteCsv(flash::bench::OutPath("table6_flash.csv"));
+  std::printf("\nCSV written: out/table6_{baseline,flash}.csv\n");
   return 0;
 }
 

@@ -1,0 +1,180 @@
+// Overhead of the obs/ span tracer: runs BFS and PageRank with tracing off
+// and on, compares min-of-reps wall times, and asserts that every exact
+// counter (supersteps, edges, bytes, messages) is identical in both modes —
+// the "observability never perturbs the simulation" property.
+//
+// Emits out/BENCH_trace_overhead.json (out/ is created if needed). Knobs:
+//   FLASH_BENCH_SCALE     RMAT scale if >= 1, smoke fraction if < 1
+//                         (default scale 14)
+//   FLASH_BENCH_REPS      timed repetitions per mode (default 3)
+//   FLASH_BENCH_PR_ITERS  PageRank iterations (default 5)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "bench/harness/harness.h"
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "obs/tracer.h"
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  int value = std::atoi(env);
+  return value > 0 ? value : fallback;
+}
+
+// FLASH_BENCH_SCALE >= 1 is an RMAT scale; a fraction (the harness-wide
+// smoke convention, e.g. 0.05) shrinks the default graph by that factor.
+int EnvRmatScale(int fallback) {
+  const char* env = std::getenv("FLASH_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  double value = std::atof(env);
+  if (value >= 1) return static_cast<int>(value);
+  int scale = fallback;
+  while (value > 0 && value < 1 && scale > 8) {
+    value *= 2;
+    --scale;
+  }
+  return scale;
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ModeResult {
+  double best_seconds = 0;
+  flash::Metrics metrics;
+  uint64_t spans = 0;
+};
+
+// Times `run` (which returns the run's Metrics) `reps` times and keeps the
+// fastest repetition — the standard defence against scheduler noise.
+template <typename Fn>
+ModeResult TimeMode(int reps, Fn&& run) {
+  ModeResult result;
+  result.best_seconds = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    double begin = Now();
+    result.metrics = run(&result.spans);
+    result.best_seconds = std::min(result.best_seconds, Now() - begin);
+  }
+  return result;
+}
+
+bool CountersMatch(const flash::Metrics& a, const flash::Metrics& b) {
+  return a.supersteps == b.supersteps && a.edges_scanned == b.edges_scanned &&
+         a.vertices_updated == b.vertices_updated &&
+         a.messages == b.messages && a.bytes == b.bytes &&
+         a.dense_steps == b.dense_steps && a.sparse_steps == b.sparse_steps;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = EnvRmatScale(14);
+  const int reps = EnvInt("FLASH_BENCH_REPS", 3);
+  const int pr_iters = EnvInt("FLASH_BENCH_PR_ITERS", 5);
+
+  flash::RmatOptions gen;
+  gen.scale = scale;
+  auto graph_or = flash::GenerateRmat(gen);
+  FLASH_CHECK(graph_or.ok()) << graph_or.status().ToString();
+  flash::GraphPtr graph = graph_or.value();
+  std::fprintf(stderr, "rmat scale=%d: %u vertices, %llu edges\n", scale,
+               graph->NumVertices(),
+               static_cast<unsigned long long>(graph->NumEdges()));
+
+  flash::RuntimeOptions base;
+  base.num_workers = 4;
+
+  struct App {
+    const char* name;
+    std::function<flash::Metrics(flash::RuntimeOptions, uint64_t*)> run;
+  };
+  std::vector<App> apps = {
+      {"bfs",
+       [&](flash::RuntimeOptions options, uint64_t* spans) {
+         auto r = flash::algo::RunBfs(graph, 0, options);
+         if (options.tracer != nullptr) {
+           options.tracer->Fold();
+           *spans = options.tracer->spans().size();
+         }
+         return r.metrics;
+       }},
+      {"pagerank",
+       [&](flash::RuntimeOptions options, uint64_t* spans) {
+         auto r = flash::algo::RunPageRank(graph, pr_iters, options);
+         if (options.tracer != nullptr) {
+           options.tracer->Fold();
+           *spans = options.tracer->spans().size();
+         }
+         return r.metrics;
+       }},
+  };
+
+  const std::string out_path =
+      flash::bench::OutPath("BENCH_trace_overhead.json");
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  FLASH_CHECK(out != nullptr);
+  std::fprintf(out,
+               "{\n  \"bench\": \"trace_overhead\",\n"
+               "  \"rmat_scale\": %d,\n  \"reps\": %d,\n"
+               "  \"obs_compiled_in\": %s,\n  \"apps\": [\n",
+               scale, reps,
+               flash::obs::Tracer::compiled_in() ? "true" : "false");
+
+  bool all_exact = true;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const App& app = apps[i];
+    ModeResult off = TimeMode(reps, [&](uint64_t* spans) {
+      return app.run(base, spans);
+    });
+    ModeResult on = TimeMode(reps, [&](uint64_t* spans) {
+      flash::RuntimeOptions traced = base;
+      traced.trace = true;
+      traced.tracer = std::make_shared<flash::obs::Tracer>();
+      return app.run(traced, spans);
+    });
+    const bool exact = CountersMatch(off.metrics, on.metrics);
+    all_exact = all_exact && exact;
+    const double overhead =
+        off.best_seconds > 0
+            ? (on.best_seconds - off.best_seconds) / off.best_seconds
+            : 0;
+    std::fprintf(stderr,
+                 "%-8s off=%.4fs on=%.4fs overhead=%+.2f%% spans=%llu "
+                 "counters=%s\n",
+                 app.name, off.best_seconds, on.best_seconds, 100 * overhead,
+                 static_cast<unsigned long long>(on.spans),
+                 exact ? "exact" : "DRIFT");
+    std::fprintf(out,
+                 "    {\"app\": \"%s\", \"seconds_off\": %.6f, "
+                 "\"seconds_on\": %.6f, \"overhead_frac\": %.6f, "
+                 "\"spans\": %llu, \"supersteps\": %llu, "
+                 "\"counters_exact\": %s}%s\n",
+                 app.name, off.best_seconds, on.best_seconds, overhead,
+                 static_cast<unsigned long long>(on.spans),
+                 static_cast<unsigned long long>(on.metrics.supersteps),
+                 exact ? "true" : "false", i + 1 < apps.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"counters_exact\": %s\n}\n",
+               all_exact ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  FLASH_CHECK(all_exact) << "span tracing perturbed exact counters";
+  return 0;
+}

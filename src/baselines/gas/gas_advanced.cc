@@ -90,7 +90,7 @@ GasBcResult Bc(const GraphPtr& graph, VertexId root,
   result.dependency.reserve(graph->NumVertices());
   for (const V& v : backward_engine.values()) result.dependency.push_back(v.delta);
   result.metrics = engine.metrics();
-  for (const StepSample& s : backward_engine.metrics().trace) {
+  for (const StepSample& s : backward_engine.metrics().steps) {
     result.metrics.AddStep(s, true);
   }
   result.metrics.compute_seconds += backward_engine.metrics().compute_seconds;

@@ -151,7 +151,7 @@ class Engine {
         next_aggregate_ = 0;
       }
       ++superstep_;
-      metrics_.AddStep(sample, /*record_trace=*/true);
+      metrics_.AddStep(sample, /*record_steps=*/true);
       if (!any_active && !pending_messages_) break;
     }
     return superstep_;

@@ -23,6 +23,7 @@
 #include "flashware/options.h"
 #include "flashware/vertex_store.h"
 #include "graph/partition.h"
+#include "obs/tracer.h"
 
 namespace flash {
 
@@ -93,6 +94,13 @@ class GraphApi {
         last_frontier_.resize(options_.num_workers);
       }
     }
+    if (options_.trace) {
+      tracer_ = options_.tracer != nullptr ? options_.tracer
+                                           : std::make_shared<obs::Tracer>();
+      bus_.SetTracer(tracer_.get());
+      if (injector_ != nullptr) injector_->SetTracer(tracer_.get());
+      if (ckpt_ != nullptr) ckpt_->SetTracer(tracer_.get());
+    }
   }
 
   GraphApi(const GraphApi&) = delete;
@@ -107,6 +115,9 @@ class GraphApi {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   const MessageBus& bus() const { return bus_; }
+  /// The armed span tracer; null unless RuntimeOptions::trace. All spans up
+  /// to the last finished superstep are folded and readable at any time.
+  obs::Tracer* tracer() const { return tracer_.get(); }
   VertexId NumVertices() const { return graph_->NumVertices(); }
   EdgeId NumEdges() const { return graph_->NumEdges(); }
   uint32_t OutDeg(VertexId v) const { return graph_->OutDegree(v); }
@@ -318,6 +329,7 @@ class GraphApi {
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
       RunWorkerShards(
+          "dense:scan",
           [&](int w) { return partition_.OwnedVertices(w).size(); },
           [&](int w, int s, size_t lo, size_t hi) {
             Timer task_timer;
@@ -355,7 +367,7 @@ class GraphApi {
             task_tally[t].edges = edges;
             task_tally[t].seconds = task_timer.Seconds();
           });
-      RunPerWorker([&](int w) {
+      RunPerWorker("dense:merge", [&](int w) {
         Timer merge_timer;
         for (int s = 0; s < shards; ++s) {
           const int t = w * shards + s;
@@ -398,6 +410,7 @@ class GraphApi {
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
       RunWorkerShards(
+          "sparse:push",
           [&](int w) { return U.Owned(w).size(); },
           [&](int w, int s, size_t lo, size_t hi) {
             Timer task_timer;
@@ -439,7 +452,7 @@ class GraphApi {
       // (shards split the frontier contiguously, so this is frontier order
       // at every shard count) and flush the shard lanes onto the bus. Each
       // worker touches only its own store and outgoing channels.
-      RunPerWorker([&](int w) {
+      RunPerWorker("sparse:flush", [&](int w) {
         Timer merge_timer;
         VertexStore<VData>& store = stores_[w];
         std::vector<VertexId> dirty;
@@ -480,7 +493,7 @@ class GraphApi {
     }
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
-      RunPerWorker([&](int w) {
+      RunPerWorker("sparse:reduce", [&](int w) {
         Timer reduce_timer;
         uint64_t applied = 0;
         for (int src = 0; src < num_workers; ++src) {
@@ -509,7 +522,7 @@ class GraphApi {
     std::vector<std::vector<T>> mapped(options_.num_workers);
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
-      RunPerWorker([&](int w) {
+      RunPerWorker("reduce:map", [&](int w) {
         const auto& owned = U.Owned(w);
         std::vector<T>& values = mapped[w];
         values.reserve(owned.size());
@@ -549,7 +562,8 @@ class GraphApi {
       sample.msgs_total = static_cast<uint64_t>(options_.num_workers) *
                           (options_.num_workers - 1);
     }
-    metrics_.AddStep(sample, options_.record_trace);
+    metrics_.AddStep(sample, options_.record_steps);
+    ObsEndSuperstep(sample);
     return all;
   }
 
@@ -610,16 +624,21 @@ class GraphApi {
   /// count and contiguous split come from threads_per_worker — never from
   /// the executing thread count — so the per-shard buffers each kernel
   /// fills are identical however tasks are scheduled. The Read() context is
-  /// bound inside each task.
+  /// bound inside each task. `label` names the phase span (host lane) and
+  /// every per-task span (worker/shard lane) when tracing is armed.
   template <typename SizeFn, typename TaskFn>
-  void RunWorkerShards(SizeFn&& size_of, TaskFn&& task) {
+  void RunWorkerShards(const char* label, SizeFn&& size_of, TaskFn&& task) {
     const int shards = options_.threads_per_worker;
     const int num_workers = options_.num_workers;
+    obs::Tracer* const tracer = tracer_.get();
+    if (tracer != nullptr) tracer->BeginPhase();
+    OBS_SPAN(tracer, label, obs::SpanKind::kPhase);
     if (!options_.parallel_workers) {
       for (int w = 0; w < num_workers; ++w) {
         const size_t n = size_of(w);
         pool_.ParallelShards(0, n, [&](int s, size_t lo, size_t hi) {
           internal::WorkerScope scope(w);
+          OBS_SPAN(tracer, label, obs::SpanKind::kTask, w, s);
           task(w, s, lo, hi);
         });
       }
@@ -632,6 +651,7 @@ class GraphApi {
       const size_t n = size_of(w);
       const size_t lo = n * static_cast<size_t>(s) / shards;
       const size_t hi = n * static_cast<size_t>(s + 1) / shards;
+      OBS_SPAN(tracer, label, obs::SpanKind::kTask, w, s);
       task(w, s, lo, hi);
     });
   }
@@ -639,19 +659,64 @@ class GraphApi {
   /// Runs fn(w) once per worker and blocks until all complete — the
   /// merge/commit/apply phases whose targets (a worker's store, its
   /// outgoing channels, its output list) are single-writer per worker.
+  /// `label` names the phase/task spans as in RunWorkerShards.
   template <typename Fn>
-  void RunPerWorker(Fn&& fn) {
+  void RunPerWorker(const char* label, Fn&& fn) {
+    obs::Tracer* const tracer = tracer_.get();
+    if (tracer != nullptr) tracer->BeginPhase();
+    OBS_SPAN(tracer, label, obs::SpanKind::kPhase);
     if (!options_.parallel_workers) {
       for (int w = 0; w < options_.num_workers; ++w) {
         internal::WorkerScope scope(w);
+        OBS_SPAN(tracer, label, obs::SpanKind::kTask, w, -1);
         fn(w);
       }
       return;
     }
     pool_.ParallelForWorkers(options_.num_workers, [&](int w) {
       internal::WorkerScope scope(w);
+      OBS_SPAN(tracer, label, obs::SpanKind::kTask, w, -1);
       fn(w);
     });
+  }
+
+  /// Superstep-span bracket. ObsBeginSuperstep (from BeginSuperstep, i.e.
+  /// primitive entry) binds the tracer to this superstep's index and stamps
+  /// the begin time; ObsEndSuperstep (after Metrics::AddStep) records the
+  /// superstep span — named after the StepKind, args = frontier in/out —
+  /// and folds the thread buffers, so spans() is current at every barrier.
+  /// Aggregate steps billed without a BeginSuperstep (SIZE, join bitmaps)
+  /// degrade to an instant-length span at the end stamp.
+  void ObsBeginSuperstep() {
+    if (tracer_ == nullptr) return;
+    tracer_->SetSuperstep(metrics_.supersteps);
+    tracer_->BeginPhase();  // Boundary work (ckpt/recovery) gets its own epoch.
+    obs_step_begin_ns_ = tracer_->NowNs();
+    obs_step_open_ = true;
+  }
+
+  void ObsEndSuperstep(const StepSample& sample) {
+    if (tracer_ == nullptr) return;
+    const uint64_t end_ns = tracer_->NowNs();
+    const uint64_t begin_ns = obs_step_open_ ? obs_step_begin_ns_ : end_ns;
+    obs_step_open_ = false;
+    // AddStep already ran: this superstep's index is supersteps - 1.
+    tracer_->SetSuperstep(metrics_.supersteps - 1);
+    tracer_->BeginPhase();
+    tracer_->Record(StepSpanName(sample.kind), obs::SpanKind::kSuperstep,
+                    obs::kHostLane, -1, begin_ns, end_ns, sample.frontier_in,
+                    sample.frontier_out);
+    tracer_->Fold();
+  }
+
+  static const char* StepSpanName(StepKind kind) {
+    switch (kind) {
+      case StepKind::kVertexMap: return "step:vertexmap";
+      case StepKind::kEdgeMapDense: return "step:edgemap_dense";
+      case StepKind::kEdgeMapSparse: return "step:edgemap_sparse";
+      case StepKind::kAggregate: return "step:aggregate";
+    }
+    return "step";
   }
 
   static void AppendTo(std::vector<VertexId>& sink,
@@ -705,7 +770,8 @@ class GraphApi {
     bool already = U.dense_materialized();
     const Bitset& bits = DenseBitmap(U, &sample);
     if (!already && options_.num_workers > 1) {
-      metrics_.AddStep(sample, options_.record_trace);
+      metrics_.AddStep(sample, options_.record_steps);
+      ObsEndSuperstep(sample);
     }
     return bits;
   }
@@ -721,7 +787,8 @@ class GraphApi {
       sample.bytes_max = element_bytes * (options_.num_workers - 1);
       sample.msgs_total = pairs;
     }
-    metrics_.AddStep(sample, options_.record_trace);
+    metrics_.AddStep(sample, options_.record_steps);
+    ObsEndSuperstep(sample);
     SyncFaultStats();
   }
 
@@ -772,6 +839,7 @@ class GraphApi {
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
       RunWorkerShards(
+          "vmap:filter",
           [&](int w) { return U.Owned(w).size(); },
           [&](int w, int s, size_t lo, size_t hi) {
             Timer task_timer;
@@ -790,7 +858,7 @@ class GraphApi {
             }
             task_tally[t].seconds = task_timer.Seconds();
           });
-      RunPerWorker([&](int w) {
+      RunPerWorker("vmap:merge", [&](int w) {
         Timer merge_timer;
         for (int s = 0; s < shards; ++s) {
           const int t = w * shards + s;
@@ -824,7 +892,7 @@ class GraphApi {
 
     {
       ScopedTimer ser_timer(&metrics_.serialize_seconds);
-      RunPerWorker([&](int w) {
+      RunPerWorker("barrier:commit", [&](int w) {
         BufferWriter commit_log;
         stores_[w].Commit([&](VertexId v, const VData& value) {
           if (log_recovery) {
@@ -852,7 +920,7 @@ class GraphApi {
     {
       ScopedTimer comm_timer(&metrics_.comm_seconds);
       bus_.Exchange();
-      RunPerWorker([&](int w) {
+      RunPerWorker("barrier:apply", [&](int w) {
         for (int src = 0; src < num_workers; ++src) {
           if (src == w) continue;
           const auto& buffer = bus_.Incoming(w, src);
@@ -877,7 +945,8 @@ class GraphApi {
     VertexSubset result =
         VertexSubset::FromWorkerLists(&partition_, std::move(out));
     sample.frontier_out = static_cast<uint32_t>(result.TotalSize());
-    metrics_.AddStep(sample, options_.record_trace);
+    metrics_.AddStep(sample, options_.record_steps);
+    ObsEndSuperstep(sample);
     SyncFaultStats();
     return result;
   }
@@ -894,6 +963,7 @@ class GraphApi {
   /// their redo logs. Runs between primitives, where no uncommitted state is
   /// pending, so recovery is exact. No-op without an active fault plan.
   void BeginSuperstep() {
+    ObsBeginSuperstep();
     if (injector_ == nullptr) return;
     const uint64_t step = metrics_.supersteps;
     if (ckpt_ != nullptr && ckpt_->Due(step)) TakeCheckpoint(step);
@@ -904,11 +974,17 @@ class GraphApi {
   /// Snapshots every worker's full vertex store plus the last frontier into
   /// sealed (checksummed) blobs and truncates the redo logs.
   void TakeCheckpoint(uint64_t step) {
+    const uint64_t bytes_before = injector_->stats().checkpoint_bytes;
+    OBS_SPAN_VAR(snap_span, tracer_.get(), "ckpt:snapshot",
+                 obs::SpanKind::kCheckpoint);
     std::vector<std::vector<uint8_t>> states(options_.num_workers);
-    RunPerWorker([&](int w) { states[w] = EncodeWorkerState(w, step); });
+    RunPerWorker("ckpt:encode",
+                 [&](int w) { states[w] = EncodeWorkerState(w, step); });
     ckpt_->StoreSnapshot(step, std::move(states),
                          EncodeFrontierLists(step, last_frontier_),
                          injector_->stats());
+    snap_span.args(injector_->stats().checkpoint_bytes - bytes_before,
+                   static_cast<uint64_t>(options_.num_workers));
   }
 
   /// Serialises worker `w`'s complete store — masters and mirrors, all
@@ -963,11 +1039,19 @@ class GraphApi {
     FLASH_CHECK(ckpt_ != nullptr && ckpt_->has_snapshot())
         << "worker " << w << " crashed before any checkpoint existed";
     internal::WorkerScope scope(w);
-    stores_[w] = VertexStore<VData>(graph_->NumVertices());
-    Status restored = DecodeWorkerState(w, ckpt_->worker_blob(w));
-    FLASH_CHECK(restored.ok()) << restored.ToString();
+    {
+      OBS_SPAN_VAR(restore_span, tracer_.get(), "recover:restore",
+                   obs::SpanKind::kRecovery, w);
+      stores_[w] = VertexStore<VData>(graph_->NumVertices());
+      Status restored = DecodeWorkerState(w, ckpt_->worker_blob(w));
+      FLASH_CHECK(restored.ok()) << restored.ToString();
+      restore_span.args(ckpt_->worker_blob(w).size(), 0);
+    }
     FaultStats& stats = injector_->stats();
+    const uint64_t records_before = stats.replayed_records;
     const RecoveryLog& log = ckpt_->log(w);
+    OBS_SPAN_VAR(replay_span, tracer_.get(), "recover:replay",
+                 obs::SpanKind::kRecovery, w);
     log.ForEachRecord([&](LogRecordType type, uint32_t mask,
                           BufferReader& payload) {
       VertexStore<VData>& store = stores_[w];
@@ -984,6 +1068,7 @@ class GraphApi {
     ++stats.restores;
     stats.restored_bytes += ckpt_->worker_blob(w).size();
     stats.replayed_bytes += log.bytes();
+    replay_span.args(log.bytes(), stats.replayed_records - records_before);
   }
 
   GraphPtr graph_;
@@ -1009,6 +1094,12 @@ class GraphApi {
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<CheckpointManager> ckpt_;
   std::vector<std::vector<VertexId>> last_frontier_;
+  // Span tracer, armed only by RuntimeOptions::trace (shared so it can be
+  // handed out via RuntimeOptions::tracer and outlive this engine), plus
+  // the open-superstep bracket state ObsBegin/EndSuperstep maintain.
+  std::shared_ptr<obs::Tracer> tracer_;
+  uint64_t obs_step_begin_ns_ = 0;
+  bool obs_step_open_ = false;
 };
 
 }  // namespace flash

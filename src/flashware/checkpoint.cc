@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "flashware/metrics.h"
+#include "obs/tracer.h"
 
 namespace flash {
 
@@ -113,6 +114,7 @@ void CheckpointManager::StoreSnapshot(
     uint64_t superstep, std::vector<std::vector<uint8_t>> worker_state,
     std::vector<uint8_t> frontier, FaultStats& stats) {
   FLASH_CHECK_EQ(worker_state.size(), static_cast<size_t>(num_workers_));
+  OBS_SPAN_VAR(seal_span, tracer_, "ckpt:seal", obs::SpanKind::kCheckpoint);
   worker_state_ = std::move(worker_state);
   frontier_ = std::move(frontier);
   uint64_t bytes = frontier_.size();
@@ -125,6 +127,7 @@ void CheckpointManager::StoreSnapshot(
   for (RecoveryLog& log : logs_) log.Clear();
   ++stats.checkpoints;
   stats.checkpoint_bytes += bytes;
+  seal_span.args(bytes, static_cast<uint64_t>(num_workers_));
 }
 
 }  // namespace flash

@@ -13,6 +13,10 @@ namespace flash {
 
 struct FaultStats;
 
+namespace obs {
+class Tracer;
+}
+
 /// Superstep-granular checkpointing for the simulated cluster (paper-style
 /// synchronous recovery: snapshot at a superstep barrier, redo-log every
 /// later state change, rebuild a crashed worker as snapshot + log replay).
@@ -125,6 +129,10 @@ class CheckpointManager {
   RecoveryLog& log(int w) { return logs_[w]; }
   const RecoveryLog& log(int w) const { return logs_[w]; }
 
+  /// Attaches the run's span tracer: StoreSnapshot then records a
+  /// "ckpt:seal" span (args = sealed bytes, workers) on the host lane.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   int num_workers_;
   int interval_;
@@ -133,6 +141,7 @@ class CheckpointManager {
   std::vector<std::vector<uint8_t>> worker_state_;
   std::vector<uint8_t> frontier_;
   std::vector<RecoveryLog> logs_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace flash

@@ -28,7 +28,7 @@ std::string ModeledTime::ToString() const {
 ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
   ModeledTime result;
   const double cores = std::max(1, config.cores_per_node);
-  for (const StepSample& step : metrics.trace) {
+  for (const StepSample& step : metrics.steps) {
     // Compute: the busiest worker's work, spread over its cores. Intra-node
     // parallel efficiency degrades with core count (scheduling + memory
     // contention; the paper's Fig 4b measures 1.8x/2.9x/4.7x/6.7x/7.5x at

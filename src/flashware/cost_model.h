@@ -65,7 +65,7 @@ struct ModeledTime {
   std::string ToString() const;
 };
 
-/// Prices `metrics` (which must carry a trace) on `config`. The metrics'
+/// Prices `metrics` (which must carry step samples) on `config`. The metrics'
 /// per-step worker maxima were collected for the worker count the run used;
 /// `config.nodes` should normally equal that worker count.
 ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/tracer.h"
 
 namespace flash {
 
@@ -105,11 +106,17 @@ void FaultInjector::TransmitChannel(uint64_t epoch, int src, int dst,
     ++stats_.fragments_sent;
     bool acked = false;
     for (int attempt = 0; attempt <= plan_.max_retries; ++attempt) {
-      if (attempt > 0) ++stats_.retries;
+      if (attempt > 0) {
+        ++stats_.retries;
+        OBS_INSTANT(tracer_, "fault:retry", obs::SpanKind::kInstant, src, dst,
+                    seq, static_cast<uint64_t>(attempt));
+      }
       *wire_bytes += bytes;
       if (Draw(epoch, src, dst, FragmentSalt(kDropSalt, seq, attempt)) <
           plan_.msg_drop_rate) {
         ++stats_.drops;
+        OBS_INSTANT(tracer_, "fault:drop", obs::SpanKind::kInstant, src, dst,
+                    seq, static_cast<uint64_t>(attempt));
         continue;
       }
       acked = true;
@@ -117,6 +124,8 @@ void FaultInjector::TransmitChannel(uint64_t epoch, int src, int dst,
       if (Draw(epoch, src, dst, FragmentSalt(kDupSalt, seq, attempt)) <
           plan_.msg_dup_rate) {
         ++stats_.duplicates;
+        OBS_INSTANT(tracer_, "fault:dup", obs::SpanKind::kInstant, src, dst,
+                    seq, static_cast<uint64_t>(attempt));
         *wire_bytes += bytes;
         arrivals.push_back(static_cast<uint32_t>(seq));
       }
@@ -124,6 +133,8 @@ void FaultInjector::TransmitChannel(uint64_t epoch, int src, int dst,
     }
     if (!acked) {
       ++stats_.escalations;
+      OBS_INSTANT(tracer_, "fault:escalate", obs::SpanKind::kInstant, src,
+                  dst, seq, static_cast<uint64_t>(plan_.max_retries));
       *wire_bytes += bytes;
       arrivals.push_back(static_cast<uint32_t>(seq));
     }
@@ -146,7 +157,11 @@ void FaultInjector::TransmitChannel(uint64_t epoch, int src, int dst,
   for (uint32_t seq : arrivals) {
     const uint64_t bytes = frag_size(seq);
     *delivered_bytes += bytes;
-    if (any_seen && seq < highest_seen) ++stats_.reorders;
+    if (any_seen && seq < highest_seen) {
+      ++stats_.reorders;
+      OBS_INSTANT(tracer_, "fault:reorder", obs::SpanKind::kInstant, src, dst,
+                  seq, highest_seen);
+    }
     highest_seen = std::max(highest_seen, seq);
     any_seen = true;
     if (seen[seq]) continue;  // Duplicate delivery: already acked, drop it.

@@ -9,6 +9,10 @@
 
 namespace flash {
 
+namespace obs {
+class Tracer;
+}
+
 /// One scheduled worker failure: `worker` loses its entire in-memory state
 /// when the global superstep counter reaches `superstep`. The engine detects
 /// the failure at the superstep barrier and rebuilds the worker from the
@@ -102,10 +106,16 @@ class FaultInjector {
   /// seed (exposed for the property tests).
   double Draw(uint64_t epoch, int src, int dst, uint64_t salt) const;
 
+  /// Attaches the run's span tracer: every injected drop/duplicate/reorder,
+  /// retry, and escalation then records an instant event (lane = src worker,
+  /// shard = dst, args = fragment seq + attempt). Null keeps faults silent.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   FaultPlan plan_;
   FaultStats stats_;
   std::vector<uint8_t> crash_fired_;  // Parallel to worker_crash_schedule.
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace flash

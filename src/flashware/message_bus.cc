@@ -2,9 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
+
 namespace flash {
 
 uint64_t MessageBus::Exchange() {
+  // Exchange runs on the host thread after the phase barrier, so span
+  // recording here is single-threaded; BeginPhase separates these spans
+  // from the phase's task spans in the deterministic fold order.
+  if (tracer_ != nullptr) tracer_->BeginPhase();
+  OBS_SPAN_VAR(exchange_span, tracer_, "bus:exchange",
+               obs::SpanKind::kExchange);
   // Fixed-size scratch; reallocation-free across supersteps.
   sent_scratch_.assign(num_workers_, 0);
   recv_scratch_.assign(num_workers_, 0);
@@ -19,8 +27,14 @@ uint64_t MessageBus::Exchange() {
       if (src == dst) continue;
       size_t index = Index(src, dst);
       BufferWriter& out = outgoing_[index];
-      messages += channel_messages_[index];
+      const uint64_t channel_msgs = channel_messages_[index];
+      messages += channel_msgs;
       channel_messages_[index] = 0;
+      // Empty channels still flow through the swap below (it is what clears
+      // the previous exchange's incoming buffer) but record no span.
+      OBS_SPAN_VAR(channel_span,
+                   out.empty() && channel_msgs == 0 ? nullptr : tracer_,
+                   "bus:channel", obs::SpanKind::kChannel, src, dst);
       if (faulty) {
         // Route the payload through the simulated unreliable wire: sent
         // bytes include retransmissions and injected duplicates, received
@@ -34,12 +48,14 @@ uint64_t MessageBus::Exchange() {
         sent[src] += wire;
         recv[dst] += arrived;
         total += wire;
+        channel_span.args(wire, channel_msgs);
         continue;
       }
       uint64_t n = out.size();
       sent[src] += n;
       recv[dst] += n;
       total += n;
+      channel_span.args(n, channel_msgs);
       // Swap, then clear: both sides keep their capacity across supersteps.
       out.SwapBytes(incoming_[index]);
       out.Clear();
@@ -54,6 +70,7 @@ uint64_t MessageBus::Exchange() {
   last_messages_ = messages;
   total_bytes_ += total;
   total_messages_ += last_messages_;
+  exchange_span.args(total, messages);
   return total;
 }
 

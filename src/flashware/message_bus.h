@@ -10,6 +10,10 @@
 
 namespace flash {
 
+namespace obs {
+class Tracer;
+}
+
 /// All-to-all byte channels between the m simulated workers — the stand-in
 /// for the MPI transport of the original system. Every inter-worker update
 /// is serialised into a channel by the sender and deserialised by the
@@ -59,6 +63,11 @@ class MessageBus {
   /// fast path.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Attaches the run's span tracer. Every Exchange() then records one
+  /// exchange span plus a span per non-empty src→dst channel (lane = src,
+  /// dst/byte/msg attributes). Null keeps exchanges unobserved.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Ends the exchange phase: outgoing buffers become readable, counters are
   /// updated. Returns total bytes moved in this phase.
   uint64_t Exchange();
@@ -95,6 +104,7 @@ class MessageBus {
   std::vector<uint64_t> sent_scratch_;
   std::vector<uint64_t> recv_scratch_;
   FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   uint64_t exchange_epoch_ = 0;  // Keys the counter-based fault PRNG.
 };
 

@@ -110,10 +110,14 @@ struct Metrics {
   /// Fault-injection and recovery counters (all zero without a FaultPlan).
   FaultStats fault;
 
-  /// Per-superstep trace (present when RuntimeOptions::record_trace).
-  std::vector<StepSample> trace;
+  /// Per-superstep counter samples (present when
+  /// RuntimeOptions::record_steps). Distinct from the obs/ span *tracer*
+  /// (RuntimeOptions::trace): steps are exact counters folded at barriers
+  /// and feed the cost model; spans are wall-clock intervals for the
+  /// Chrome-trace / timeline exporters.
+  std::vector<StepSample> steps;
 
-  void AddStep(const StepSample& sample, bool record_trace) {
+  void AddStep(const StepSample& sample, bool record_steps) {
     ++supersteps;
     edges_scanned += sample.edges_total;
     vertices_updated += sample.verts_total;
@@ -121,7 +125,7 @@ struct Metrics {
     bytes += sample.bytes_total;
     if (sample.kind == StepKind::kEdgeMapDense) ++dense_steps;
     if (sample.kind == StepKind::kEdgeMapSparse) ++sparse_steps;
-    if (record_trace) trace.push_back(sample);
+    if (record_steps) steps.push_back(sample);
   }
 
   double TotalSeconds() const {

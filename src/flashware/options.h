@@ -1,10 +1,16 @@
 #ifndef FLASH_FLASHWARE_OPTIONS_H_
 #define FLASH_FLASHWARE_OPTIONS_H_
 
+#include <memory>
+
 #include "flashware/fault_injector.h"
 #include "graph/partition.h"
 
 namespace flash {
+
+namespace obs {
+class Tracer;
+}
 
 /// Forced propagation mode for EDGEMAP (paper §III-C). Adaptive switches per
 /// call on the Ligra density heuristic; the pure modes exist both for users
@@ -61,9 +67,23 @@ struct RuntimeOptions {
   /// cluster time (max(comp, comm) per superstep instead of comp + comm).
   bool overlap_comm_compute = true;
 
-  /// Record a per-superstep trace (frontier sizes, per-step work) for the
-  /// figure benchmarks. Cheap; on by default.
-  bool record_trace = true;
+  /// Record per-superstep counter samples (Metrics::steps — frontier sizes,
+  /// per-step work) for the figure benchmarks and the cost model. Cheap; on
+  /// by default. Not the span tracer; see `trace` below.
+  bool record_steps = true;
+
+  /// Arm the obs/ span tracer: every superstep, phase, (worker, shard)
+  /// task, bus exchange, checkpoint, and recovery is recorded as a timed
+  /// span (exportable as a Chrome trace, Prometheus text, or a timeline
+  /// TSV). Off by default — recording costs a couple of clock reads per
+  /// task, and disabled runs must stay bit-identical in cost and counters.
+  bool trace = false;
+
+  /// Span sink for `trace`. When set, the engine records into this tracer
+  /// (which outlives the engine, so callers that only see the algorithm's
+  /// result structs can still export the trace); when null and `trace` is
+  /// true, the engine owns a private tracer reachable via GraphApi::tracer().
+  std::shared_ptr<obs::Tracer> tracer;
 
   /// Adversity the run must survive: seeded message drop/duplication/
   /// reordering on the bus plus scheduled worker crashes with checkpoint

@@ -1,0 +1,58 @@
+#ifndef FLASH_OBS_EXPORTERS_H_
+#define FLASH_OBS_EXPORTERS_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
+
+/// FLASHWARE observability, layer 3: exporters.
+///
+///  - Chrome trace_event JSON: open in chrome://tracing or
+///    https://ui.perfetto.dev. One lane ("thread") per simulated worker
+///    plus a host lane; supersteps, phases, tasks, exchanges, checkpoints,
+///    recoveries render as nested slices, fault injections as instants.
+///  - Prometheus text exposition (0.0.4): the Registry, suitable for a
+///    node_exporter textfile collector or scrape mocks.
+///  - Timeline TSV: one row per superstep joining the span timing with the
+///    StepSample counters — the join surface for the bench harness and the
+///    cost model.
+namespace flash {
+struct Metrics;
+}
+
+namespace flash::obs {
+
+/// Writes the folded spans of `tracer` as Chrome trace_event JSON. Events
+/// are sorted by (lane, begin time); the caller should Fold() first (the
+/// engine folds at every barrier, so an after-run export is complete).
+void WriteChromeTrace(std::ostream& out, const Tracer& tracer);
+
+/// Writes `registry` in Prometheus text exposition format. Exact-integer
+/// counters print as decimal integers, never through a double.
+void WritePrometheus(std::ostream& out, const Registry& registry);
+
+/// Writes the per-superstep timeline TSV: every StepSample row (superstep
+/// index, kind, frontier/edge/byte/message counters, modelled compute
+/// seconds) joined with the matching superstep span's wall-clock interval
+/// when the run was traced. Untraced supersteps leave the span columns
+/// empty.
+void WriteTimelineTsv(std::ostream& out, const flash::Metrics& metrics,
+                      const Tracer* tracer = nullptr);
+
+/// Convenience file sinks (parent directories are not created).
+Status WriteChromeTraceFile(const std::string& path, const Tracer& tracer);
+Status WritePrometheusFile(const std::string& path, const Registry& registry);
+Status WriteTimelineTsvFile(const std::string& path,
+                            const flash::Metrics& metrics,
+                            const Tracer* tracer = nullptr);
+
+/// Prints the `n` slowest folded spans (duration-descending) as an aligned
+/// table — the `flash_cli --profile` exit report.
+void PrintSlowestSpans(std::ostream& out, const Tracer& tracer, size_t n = 10);
+
+}  // namespace flash::obs
+
+#endif  // FLASH_OBS_EXPORTERS_H_

@@ -1,0 +1,155 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "flashware/metrics.h"
+#include "flashware/options.h"
+
+namespace flash::obs {
+
+Metric& Registry::Upsert(const std::string& name, MetricType type,
+                         const std::string& help) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Metric& m = metrics_[it->second];
+    m.type = type;
+    if (!help.empty()) m.help = help;
+    return m;
+  }
+  index_.emplace(name, metrics_.size());
+  Metric m;
+  m.name = name;
+  m.help = help;
+  m.type = type;
+  metrics_.push_back(std::move(m));
+  return metrics_.back();
+}
+
+void Registry::Counter(const std::string& name, uint64_t value,
+                       const std::string& help) {
+  Metric& m = Upsert(name, MetricType::kCounter, help);
+  m.integral = true;
+  m.ivalue = value;
+}
+
+void Registry::CounterF(const std::string& name, double value,
+                        const std::string& help) {
+  Metric& m = Upsert(name, MetricType::kCounter, help);
+  m.integral = false;
+  m.dvalue = value;
+}
+
+void Registry::Gauge(const std::string& name, double value,
+                     const std::string& help) {
+  Metric& m = Upsert(name, MetricType::kGauge, help);
+  m.integral = false;
+  m.dvalue = value;
+}
+
+void Registry::Histogram(const std::string& name, std::vector<double> bounds,
+                         const std::string& help) {
+  Metric& m = Upsert(name, MetricType::kHistogram, help);
+  if (m.counts.empty()) {
+    m.bounds = std::move(bounds);
+    m.counts.assign(m.bounds.size() + 1, 0);
+  }
+}
+
+void Registry::Observe(const std::string& name, double value) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return;
+  Metric& m = metrics_[it->second];
+  if (m.type != MetricType::kHistogram) return;
+  size_t bucket = m.bounds.size();  // +Inf by default.
+  for (size_t i = 0; i < m.bounds.size(); ++i) {
+    if (value <= m.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++m.counts[bucket];
+  ++m.observations;
+  m.sum += value;
+}
+
+const Metric* Registry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &metrics_[it->second];
+}
+
+Registry BuildRegistry(const flash::Metrics& metrics,
+                       const flash::RuntimeOptions* options) {
+  Registry reg;
+  // Run-level counters (all exact integers in Metrics).
+  reg.Counter("flash_supersteps_total", metrics.supersteps,
+              "BSP supersteps executed");
+  reg.Counter("flash_steps_dense_total", metrics.dense_steps,
+              "EDGEMAPDENSE supersteps");
+  reg.Counter("flash_steps_sparse_total", metrics.sparse_steps,
+              "EDGEMAPSPARSE supersteps");
+  reg.Counter("flash_edges_scanned_total", metrics.edges_scanned,
+              "Edge examinations across all workers");
+  reg.Counter("flash_vertices_updated_total", metrics.vertices_updated,
+              "Vertex updates/evaluations across all workers");
+  reg.Counter("flash_messages_total", metrics.messages,
+              "Vertex-level messages shipped over the bus");
+  reg.Counter("flash_wire_bytes_total", metrics.bytes,
+              "Serialised payload bytes shipped over the bus");
+  // Wall-clock breakdown (cumulative seconds; float counters).
+  reg.CounterF("flash_compute_seconds_total", metrics.compute_seconds,
+               "Simulation seconds in compute phases");
+  reg.CounterF("flash_comm_seconds_total", metrics.comm_seconds,
+               "Simulation seconds in exchange/mirror phases");
+  reg.CounterF("flash_serialize_seconds_total", metrics.serialize_seconds,
+               "Simulation seconds serialising payloads");
+  reg.CounterF("flash_other_seconds_total", metrics.other_seconds,
+               "Simulation seconds in setup/bookkeeping");
+  // Fault and recovery counters (FaultStats; all exact integers).
+  const FaultStats& f = metrics.fault;
+  reg.Counter("flash_fault_fragments_total", f.fragments_sent,
+              "Distinct payload fragments offered to the wire");
+  reg.Counter("flash_fault_drops_total", f.drops,
+              "Fragment transmissions lost by the wire");
+  reg.Counter("flash_fault_duplicates_total", f.duplicates,
+              "Extra fragment deliveries injected by the wire");
+  reg.Counter("flash_fault_reorders_total", f.reorders,
+              "Fragments that arrived out of sequence order");
+  reg.Counter("flash_fault_retries_total", f.retries,
+              "Retransmissions after a missing ack");
+  reg.Counter("flash_fault_escalations_total", f.escalations,
+              "Retry budgets exhausted (recovery resend)");
+  reg.Counter("flash_checkpoints_total", f.checkpoints, "Snapshots taken");
+  reg.Counter("flash_checkpoint_bytes_total", f.checkpoint_bytes,
+              "Sealed snapshot bytes written");
+  reg.Counter("flash_restores_total", f.restores,
+              "Worker states rebuilt after a crash");
+  reg.Counter("flash_restored_bytes_total", f.restored_bytes,
+              "Snapshot bytes read back during recovery");
+  reg.Counter("flash_replay_records_total", f.replayed_records,
+              "Redo-log vertex records reapplied");
+  reg.Counter("flash_replay_bytes_total", f.replayed_bytes,
+              "Redo-log bytes consumed by replays");
+  if (options != nullptr) {
+    reg.Gauge("flash_workers", options->num_workers, "Simulated workers");
+    reg.Gauge("flash_threads_per_worker", options->threads_per_worker,
+              "Logical shards per worker");
+    reg.Gauge("flash_host_threads", options->host_threads,
+              "Host threads cap (0 = hardware)");
+  }
+  // Per-superstep distributions, when the run kept its step samples.
+  if (!metrics.steps.empty()) {
+    reg.Histogram("flash_step_bytes",
+                  {0, 1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26},
+                  "Wire bytes shipped per superstep");
+    reg.Histogram("flash_step_compute_seconds",
+                  {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0},
+                  "Busiest-worker compute seconds per superstep");
+    for (const StepSample& s : metrics.steps) {
+      reg.Observe("flash_step_bytes", static_cast<double>(s.bytes_total));
+      reg.Observe("flash_step_compute_seconds", s.comp_max);
+    }
+  }
+  return reg;
+}
+
+}  // namespace flash::obs

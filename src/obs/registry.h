@@ -1,0 +1,95 @@
+#ifndef FLASH_OBS_REGISTRY_H_
+#define FLASH_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// FLASHWARE observability, layer 2: the metric registry.
+///
+/// A Registry is a named, typed snapshot of a run's counters, gauges, and
+/// histograms — the stable-name surface over the ad-hoc integer fields of
+/// Metrics/FaultStats (see BuildRegistry). Counters keep uint64 exactness
+/// end to end: the value is stored and exported as an integer, never routed
+/// through a double, so the registry view of a bit-identical replay is
+/// bit-identical too. The registry is assembled after (or between) runs —
+/// it is not on any superstep hot path.
+namespace flash::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+struct Metric {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  bool integral = true;    // Counters: exact uint64. Gauges: double.
+  uint64_t ivalue = 0;
+  double dvalue = 0;
+  // Histogram payload (type == kHistogram): cumulative-style buckets are
+  // produced by the exporter; counts here are per-bucket, bounds[i] is the
+  // inclusive upper edge of bucket i, with an implicit +Inf bucket last.
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 entries.
+  uint64_t observations = 0;
+  double sum = 0;
+};
+
+class Registry {
+ public:
+  /// Sets the exact-integer counter `name` (creating it on first use).
+  void Counter(const std::string& name, uint64_t value,
+               const std::string& help = "");
+
+  /// Sets a floating counter (cumulative seconds and the like).
+  void CounterF(const std::string& name, double value,
+                const std::string& help = "");
+
+  /// Sets the gauge `name`.
+  void Gauge(const std::string& name, double value,
+             const std::string& help = "");
+
+  /// Declares a histogram with the given upper bucket bounds (ascending; an
+  /// +Inf bucket is implicit). Re-declaring an existing histogram keeps its
+  /// observations.
+  void Histogram(const std::string& name, std::vector<double> bounds,
+                 const std::string& help = "");
+
+  /// Adds one observation to histogram `name` (declared beforehand).
+  void Observe(const std::string& name, double value);
+
+  /// Metrics in insertion order (the order exporters emit).
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  /// Lookup; null when `name` was never set.
+  const Metric* Find(const std::string& name) const;
+
+ private:
+  Metric& Upsert(const std::string& name, MetricType type,
+                 const std::string& help);
+
+  std::vector<Metric> metrics_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace flash::obs
+
+namespace flash {
+
+struct Metrics;
+struct RuntimeOptions;
+
+namespace obs {
+
+/// The absorption map: every Metrics/FaultStats field under its stable
+/// metric name (the table lives in docs/INTERNALS.md §Observability), plus
+/// cluster-shape gauges when `options` is given, plus per-superstep
+/// byte/compute histograms distilled from Metrics::steps. Integer fields
+/// arrive as exact-integer counters.
+Registry BuildRegistry(const flash::Metrics& metrics,
+                       const flash::RuntimeOptions* options = nullptr);
+
+}  // namespace obs
+}  // namespace flash
+
+#endif  // FLASH_OBS_REGISTRY_H_

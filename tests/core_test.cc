@@ -434,7 +434,7 @@ TEST(Metrics, TraceRecordsSteps) {
   fl.EdgeMap(
       fl.V(), fl.E(), CTrue, [](const Data&, Data& d) { d.value += 1; }, CTrue,
       [](const Data& t, Data& d) { d.value += t.value; });
-  const auto& trace = fl.metrics().trace;
+  const auto& trace = fl.metrics().steps;
   ASSERT_EQ(trace.size(), 2u);
   EXPECT_EQ(trace[0].kind, StepKind::kVertexMap);
   EXPECT_EQ(trace[0].frontier_in, 10u);

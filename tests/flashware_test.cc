@@ -89,14 +89,14 @@ TEST(Metrics, AddStepAggregates) {
   EXPECT_EQ(metrics.messages, 5u);
   EXPECT_EQ(metrics.sparse_steps, 1u);
   EXPECT_EQ(metrics.dense_steps, 1u);
-  EXPECT_EQ(metrics.trace.size(), 2u);
+  EXPECT_EQ(metrics.steps.size(), 2u);
 }
 
 TEST(Metrics, TraceOptional) {
   Metrics metrics;
   metrics.AddStep(StepSample{}, false);
   EXPECT_EQ(metrics.supersteps, 1u);
-  EXPECT_TRUE(metrics.trace.empty());
+  EXPECT_TRUE(metrics.steps.empty());
 }
 
 Metrics MakeTrace(uint64_t edges_max, uint64_t bytes_max, int steps) {

@@ -42,8 +42,8 @@ constexpr bool kParallel[] = {false, true};
 
 std::vector<std::pair<uint32_t, uint32_t>> FrontierTrace(const Metrics& m) {
   std::vector<std::pair<uint32_t, uint32_t>> trace;
-  trace.reserve(m.trace.size());
-  for (const StepSample& s : m.trace) {
+  trace.reserve(m.steps.size());
+  for (const StepSample& s : m.steps) {
     trace.emplace_back(s.frontier_in, s.frontier_out);
   }
   return trace;

@@ -20,9 +20,18 @@
 //     --root=V            source vertex (bfs, sssp, bc, ppr, diameter)
 //     --iters=N           iterations (pagerank, lpa, hits, ppr) (default 10)
 //     --k=K               k (kclique)                      (default 4)
+//   fault injection:
+//     --drop-rate=F       message-fragment drop probability in [0, 1)
+//     --crash=W@S         crash worker W at superstep S (repeatable)
+//     --ckpt-interval=N   supersteps between checkpoints (0 = auto)
 //   output:
 //     --output=FILE       write per-vertex results, one per line
 //     --metrics           print the run's superstep/communication metrics
+//     --trace-out=FILE    record a span trace; write Chrome trace_event JSON
+//                         (load in chrome://tracing or ui.perfetto.dev)
+//     --metrics-out=FILE  write the metric registry as Prometheus text
+//     --timeline-out=FILE write the per-superstep timeline TSV
+//     --profile           record a span trace; print the 10 slowest spans
 //
 // Algorithms: bfs sssp ssspdelta cc ccopt harmonic bc betweenness mis mm mmopt kcore kcoreopt
 //             tc gc scc bcc lpa msf rc kclique ktruss pagerank ppr
@@ -36,11 +45,18 @@
 #include <map>
 #include <string>
 
+#include <iostream>
+#include <memory>
+#include <vector>
+
 #include "algorithms/algorithms.h"
 #include "common/logging.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/exporters.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace flash::cli {
 namespace {
@@ -62,6 +78,17 @@ struct Args {
   int k = 4;
   std::string output;
   bool metrics = false;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string timeline_out;
+  bool profile = false;
+  double drop_rate = 0;
+  int ckpt_interval = 0;
+  std::vector<CrashEvent> crashes;
+
+  bool WantsTrace() const {
+    return !trace_out.empty() || !timeline_out.empty() || profile;
+  }
 };
 
 int Usage(const char* argv0) {
@@ -69,8 +96,10 @@ int Usage(const char* argv0) {
                "usage: %s <algorithm> [--graph=FILE | --dataset=ABBR | "
                "--gen=KIND] [--scale=F] [--workers=N] [--mode=M] [--root=V] "
                "[--iters=N] [--k=K] [--weighted] [--directed] "
-               "[--output=FILE] [--metrics]\n(see the header of "
-               "tools/flash_cli.cc for the full list)\n",
+               "[--output=FILE] [--metrics] [--trace-out=FILE] "
+               "[--metrics-out=FILE] [--timeline-out=FILE] [--profile] "
+               "[--drop-rate=F] [--crash=W@S] [--ckpt-interval=N]\n(see the "
+               "header of tools/flash_cli.cc for the full list)\n",
                argv0);
   return 2;
 }
@@ -109,6 +138,28 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->k = std::atoi(v);
     } else if ((v = value("--output="))) {
       args->output = v;
+    } else if ((v = value("--trace-out="))) {
+      args->trace_out = v;
+    } else if ((v = value("--metrics-out="))) {
+      args->metrics_out = v;
+    } else if ((v = value("--timeline-out="))) {
+      args->timeline_out = v;
+    } else if ((v = value("--drop-rate="))) {
+      args->drop_rate = std::atof(v);
+    } else if ((v = value("--ckpt-interval="))) {
+      args->ckpt_interval = std::atoi(v);
+    } else if ((v = value("--crash="))) {
+      const char* at = std::strchr(v, '@');
+      if (at == nullptr) {
+        std::fprintf(stderr, "--crash wants WORKER@SUPERSTEP, got %s\n", v);
+        return false;
+      }
+      CrashEvent e;
+      e.worker = std::atoi(v);
+      e.superstep = static_cast<uint64_t>(std::atoll(at + 1));
+      args->crashes.push_back(e);
+    } else if (arg == "--profile") {
+      args->profile = true;
     } else if (arg == "--weighted") {
       args->weighted = true;
     } else if (arg == "--directed") {
@@ -173,7 +224,67 @@ RuntimeOptions MakeRuntime(const Args& args) {
   if (args.mode == "push") options.edgemap_mode = EdgeMapMode::kPush;
   if (args.mode == "pull") options.edgemap_mode = EdgeMapMode::kPull;
   if (args.partition == "chunk") options.partition = PartitionScheme::kChunk;
+  if (args.WantsTrace()) {
+    options.trace = true;
+    options.tracer = std::make_shared<obs::Tracer>();
+  }
+  options.fault_plan.msg_drop_rate = args.drop_rate;
+  options.fault_plan.checkpoint_interval = args.ckpt_interval;
+  options.fault_plan.worker_crash_schedule = args.crashes;
   return options;
+}
+
+/// Post-run exports: Chrome trace, Prometheus dump, timeline TSV, and the
+/// --profile slowest-span report.
+int ExportObservability(const Args& args, const RuntimeOptions& options,
+                        const Metrics& metrics) {
+  obs::Tracer* tracer = options.tracer.get();
+  if (tracer != nullptr) tracer->Fold();
+  if (!args.trace_out.empty()) {
+    if (tracer == nullptr || !obs::Tracer::compiled_in()) {
+      std::fprintf(stderr,
+                   "--trace-out: tracer unavailable (FLASH_OBS_DISABLED?)\n");
+    } else {
+      Status s = obs::WriteChromeTraceFile(args.trace_out, *tracer);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", args.trace_out.c_str(),
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("chrome trace (%zu spans) written to %s\n",
+                  tracer->spans().size(), args.trace_out.c_str());
+    }
+  }
+  if (!args.metrics_out.empty()) {
+    obs::Registry registry = obs::BuildRegistry(metrics, &options);
+    Status s = obs::WritePrometheusFile(args.metrics_out, registry);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", args.metrics_out.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("prometheus metrics written to %s\n",
+                args.metrics_out.c_str());
+  }
+  if (!args.timeline_out.empty()) {
+    Status s = obs::WriteTimelineTsvFile(args.timeline_out, metrics, tracer);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", args.timeline_out.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("superstep timeline written to %s\n",
+                args.timeline_out.c_str());
+  }
+  if (args.profile) {
+    if (tracer == nullptr || !obs::Tracer::compiled_in()) {
+      std::fprintf(stderr,
+                   "--profile: tracer unavailable (FLASH_OBS_DISABLED?)\n");
+    } else {
+      obs::PrintSlowestSpans(std::cout, *tracer);
+    }
+  }
+  return 0;
 }
 
 template <typename T>
@@ -393,7 +504,7 @@ int Run(const Args& args) {
   if (args.metrics) {
     std::printf("metrics: %s\n", metrics.ToString().c_str());
   }
-  return 0;
+  return ExportObservability(args, options, metrics);
 }
 
 }  // namespace
