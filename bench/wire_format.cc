@@ -1,0 +1,294 @@
+// Wire-format bench: old per-message encoding (absolute varint id + payload
+// per record, the format the coalesced WireBatch frames replaced) against
+// the batched delta-encoded frames, on the mirror-sync traffic of real BFS
+// and PageRank runs.
+//
+// Methodology: run the algorithm on the simulated cluster to capture the
+// measured (new-format) counters and modelled communication seconds, then
+// reconstruct the per-(worker, destination) commit batches the mirror-sync
+// barrier ships — BFS commits each level's frontier, PageRank commits every
+// master each iteration; destinations come from the partition's mirror
+// masks, ids ascending (the engine sorts its dirty lists before commit).
+// Both formats are encoded and decoded from the same batches, so the byte
+// and nanosecond comparison is exact for this path, not a model.
+//
+// Emits out/BENCH_wire_format.json. Knobs (env):
+//   FLASH_BENCH_SCALE    RMAT scale (default 18, matching superstep_scaling;
+//                        values < 8, e.g. the CI smoke fraction, fall back
+//                        to a small smoke scale)
+//   FLASH_BENCH_WORKERS  simulated workers (default 4)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "bench/harness/harness.h"
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "flashware/cost_model.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+
+namespace {
+
+using flash::BufferReader;
+using flash::BufferWriter;
+using flash::EncodeWireFrame;
+using flash::ReadWireFrameHeader;
+using flash::ReadWireFrameIds;
+using flash::VertexId;
+using flash::WireFrameHeader;
+using flash::WireFramePart;
+using flash::WireId;
+
+double Now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+// One mirror-sync batch: the sorted master ids one worker ships to one
+// destination at one barrier.
+struct Batch {
+  std::vector<WireId> ids;
+};
+
+// The commit batches of one superstep: for every committed vertex v, one
+// record to every worker in MirrorMask(v).
+std::vector<Batch> CommitBatches(const std::vector<VertexId>& committed,
+                                 const flash::Partition& partition) {
+  const int nw = partition.num_workers();
+  std::vector<Batch> batches(static_cast<size_t>(nw) * nw);
+  for (VertexId v : committed) {
+    const int w = partition.Owner(v);
+    uint64_t mask = partition.MirrorMask(v);
+    while (mask != 0) {
+      const int dst = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      batches[static_cast<size_t>(w) * nw + dst].ids.push_back(v);
+    }
+  }
+  for (Batch& b : batches) std::sort(b.ids.begin(), b.ids.end());
+  return batches;
+}
+
+struct FormatCost {
+  uint64_t updates = 0;   // (vertex, destination) records shipped.
+  uint64_t old_bytes = 0;
+  uint64_t new_bytes = 0;
+  double encode_old_seconds = 0;
+  double encode_new_seconds = 0;
+  double decode_old_seconds = 0;
+  double decode_new_seconds = 0;
+};
+
+// Encodes and decodes every batch in both formats, accumulating exact byte
+// counts and wall time. `payload_bytes` is the per-record serialized VData
+// size (4 for both BFS's dis and PageRank's rank field).
+void MeasureBatches(const std::vector<std::vector<Batch>>& supersteps,
+                    size_t payload_bytes, int repeats, FormatCost& cost) {
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> old_wire;
+  BufferWriter new_wire;
+  std::vector<WireId> decoded;
+  uint64_t checksum = 0;
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    const bool count_bytes = rep == 0;
+    for (const auto& batches : supersteps) {
+      for (const Batch& b : batches) {
+        if (b.ids.empty()) continue;
+        payload.resize(b.ids.size() * payload_bytes);
+
+        // Old format: per record, absolute varint id + payload.
+        double t0 = Now();
+        old_wire.clear();
+        {
+          BufferWriter w;
+          for (size_t i = 0; i < b.ids.size(); ++i) {
+            w.WriteVarint(b.ids[i]);
+            w.WriteRaw(payload.data() + i * payload_bytes, payload_bytes);
+          }
+          old_wire.assign(w.bytes().begin(), w.bytes().end());
+        }
+        double t1 = Now();
+        new_wire.Clear();
+        WireFramePart part{b.ids.data(), b.ids.size(), payload.data(),
+                           payload.size()};
+        EncodeWireFrame(new_wire, 0x1, &part, 1);
+        double t2 = Now();
+
+        // Old decode: walk varint ids, skipping payloads.
+        {
+          BufferReader r(old_wire.data(), old_wire.size());
+          uint64_t id = 0;
+          while (!r.AtEnd()) {
+            if (!r.TryReadVarint(&id)) break;
+            checksum += id;
+            r.Skip(payload_bytes);
+          }
+        }
+        double t3 = Now();
+        {
+          BufferReader r(new_wire.bytes());
+          WireFrameHeader header;
+          FLASH_CHECK(ReadWireFrameHeader(r, &header).ok());
+          decoded.clear();
+          FLASH_CHECK(ReadWireFrameIds(r, header, &decoded).ok());
+          checksum += decoded.size();
+        }
+        double t4 = Now();
+
+        cost.encode_old_seconds += t1 - t0;
+        cost.encode_new_seconds += t2 - t1;
+        cost.decode_old_seconds += t3 - t2;
+        cost.decode_new_seconds += t4 - t3;
+        if (count_bytes) {
+          cost.updates += b.ids.size();
+          cost.old_bytes += old_wire.size();
+          cost.new_bytes += new_wire.size();
+        }
+      }
+    }
+  }
+  if (checksum == 0xDEADBEEF) std::fprintf(stderr, "unlikely\n");  // Keep it live.
+}
+
+double PerUpdateNs(double seconds, uint64_t updates, int repeats) {
+  const double total = static_cast<double>(updates) * repeats;
+  return total > 0 ? seconds * 1e9 / total : 0;
+}
+
+void EmitAlgo(FILE* out, const char* name, const flash::Metrics& metrics,
+              double modeled_comm_seconds, const FormatCost& cost,
+              int repeats) {
+  const double old_bpu =
+      cost.updates ? static_cast<double>(cost.old_bytes) / cost.updates : 0;
+  const double new_bpu =
+      cost.updates ? static_cast<double>(cost.new_bytes) / cost.updates : 0;
+  const double reduction =
+      old_bpu > 0 ? 100.0 * (old_bpu - new_bpu) / old_bpu : 0;
+  std::fprintf(stderr,
+               "%s: %llu updates  old %.3f B/update  new %.3f B/update  "
+               "(-%.1f%%)  encode %.1f -> %.1f ns  decode %.1f -> %.1f ns\n",
+               name, static_cast<unsigned long long>(cost.updates), old_bpu,
+               new_bpu, reduction,
+               PerUpdateNs(cost.encode_old_seconds, cost.updates, repeats),
+               PerUpdateNs(cost.encode_new_seconds, cost.updates, repeats),
+               PerUpdateNs(cost.decode_old_seconds, cost.updates, repeats),
+               PerUpdateNs(cost.decode_new_seconds, cost.updates, repeats));
+  std::fprintf(
+      out,
+      "  \"%s\": {\n"
+      "    \"measured\": {\"messages\": %llu, \"wire_bytes\": %llu, "
+      "\"bytes_per_message\": %.3f, \"modeled_comm_seconds\": %.6f},\n"
+      "    \"mirror_sync_codec\": {\n"
+      "      \"updates\": %llu,\n"
+      "      \"old_bytes\": %llu, \"new_bytes\": %llu,\n"
+      "      \"bytes_per_update_old\": %.3f, \"bytes_per_update_new\": %.3f,\n"
+      "      \"reduction_pct\": %.2f,\n"
+      "      \"encode_ns_per_update_old\": %.2f, "
+      "\"encode_ns_per_update_new\": %.2f,\n"
+      "      \"decode_ns_per_update_old\": %.2f, "
+      "\"decode_ns_per_update_new\": %.2f\n"
+      "    }\n"
+      "  }",
+      name, static_cast<unsigned long long>(metrics.messages),
+      static_cast<unsigned long long>(metrics.bytes),
+      metrics.messages ? static_cast<double>(metrics.bytes) / metrics.messages
+                       : 0.0,
+      modeled_comm_seconds, static_cast<unsigned long long>(cost.updates),
+      static_cast<unsigned long long>(cost.old_bytes),
+      static_cast<unsigned long long>(cost.new_bytes), old_bpu, new_bpu,
+      reduction, PerUpdateNs(cost.encode_old_seconds, cost.updates, repeats),
+      PerUpdateNs(cost.encode_new_seconds, cost.updates, repeats),
+      PerUpdateNs(cost.decode_old_seconds, cost.updates, repeats),
+      PerUpdateNs(cost.decode_new_seconds, cost.updates, repeats));
+}
+
+}  // namespace
+
+int main() {
+  // FLASH_BENCH_SCALE doubles as the CI smoke fraction (e.g. "0.05"), which
+  // parses to 0 here — anything below a plausible RMAT scale becomes the
+  // smoke scale so CI stays fast while local runs default to 16.
+  const char* scale_env = std::getenv("FLASH_BENCH_SCALE");
+  int scale = scale_env != nullptr ? std::atoi(scale_env) : 18;
+  if (scale < 8) scale = 12;
+  const int workers = flash::bench::BenchWorkers();
+  const int repeats = scale >= 16 ? 3 : 20;
+
+  flash::RmatOptions rmat;
+  rmat.scale = scale;
+  auto graph_or = flash::GenerateRmat(rmat);
+  FLASH_CHECK(graph_or.ok()) << graph_or.status().ToString();
+  flash::GraphPtr graph = graph_or.value();
+  auto partition_or = flash::Partition::Create(graph, workers);
+  FLASH_CHECK(partition_or.ok());
+  const flash::Partition& partition = partition_or.value();
+
+  flash::RuntimeOptions options;
+  options.num_workers = workers;
+  flash::ClusterConfig cluster;
+  cluster.nodes = workers;
+
+  std::fprintf(stderr, "rmat scale=%d: %u vertices, %llu edges, %d workers\n",
+               scale, graph->NumVertices(),
+               static_cast<unsigned long long>(graph->NumEdges()), workers);
+
+  // BFS: level d's frontier is the commit batch of superstep d.
+  auto bfs = flash::algo::RunBfs(graph, 0, options);
+  const double bfs_comm = flash::ModelTime(bfs.metrics, cluster).comm;
+  std::vector<std::vector<Batch>> bfs_steps;
+  {
+    std::vector<std::vector<VertexId>> levels(bfs.rounds + 1);
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      const uint32_t d = bfs.distance[v];
+      if (d <= bfs.rounds) levels[d].push_back(v);
+    }
+    for (const auto& level : levels) {
+      if (!level.empty()) bfs_steps.push_back(CommitBatches(level, partition));
+    }
+  }
+  FormatCost bfs_cost;
+  MeasureBatches(bfs_steps, /*payload_bytes=*/4, repeats, bfs_cost);
+
+  // PageRank: every master commits each iteration; one iteration's batches
+  // times the iteration count gives the whole run's mirror-sync traffic.
+  const int pr_iters = 10;
+  auto pr = flash::algo::RunPageRank(graph, pr_iters, options);
+  const double pr_comm = flash::ModelTime(pr.metrics, cluster).comm;
+  std::vector<VertexId> all(graph->NumVertices());
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) all[v] = v;
+  std::vector<std::vector<Batch>> pr_steps{CommitBatches(all, partition)};
+  FormatCost pr_cost;
+  MeasureBatches(pr_steps, /*payload_bytes=*/4, repeats, pr_cost);
+  pr_cost.updates *= pr_iters;
+  pr_cost.old_bytes *= pr_iters;
+  pr_cost.new_bytes *= pr_iters;
+  // Per-update times already normalize by updates; scale seconds to match.
+  pr_cost.encode_old_seconds *= pr_iters;
+  pr_cost.encode_new_seconds *= pr_iters;
+  pr_cost.decode_old_seconds *= pr_iters;
+  pr_cost.decode_new_seconds *= pr_iters;
+
+  const std::string out_path = flash::bench::OutPath("BENCH_wire_format.json");
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  FLASH_CHECK(out != nullptr);
+  std::fprintf(out,
+               "{\n  \"bench\": \"wire_format\",\n  \"rmat_scale\": %d,\n"
+               "  \"vertices\": %u,\n  \"edges\": %llu,\n  \"workers\": %d,\n",
+               scale, graph->NumVertices(),
+               static_cast<unsigned long long>(graph->NumEdges()), workers);
+  EmitAlgo(out, "bfs", bfs.metrics, bfs_comm, bfs_cost, repeats);
+  std::fprintf(out, ",\n");
+  EmitAlgo(out, "pagerank", pr.metrics, pr_comm, pr_cost, repeats);
+  std::fprintf(out, "\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,6 +1,7 @@
 #ifndef FLASH_COMMON_FIELDS_H_
 #define FLASH_COMMON_FIELDS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <type_traits>
@@ -66,7 +67,29 @@ struct FieldCodec {
   static size_t ByteSize(const std::vector<T>& value) {
     return value.size() * sizeof(T) + 1;
   }
+
+  template <typename T, typename = std::enable_if_t<std::is_trivially_copyable_v<T>>>
+  static constexpr bool FixedWidth(const T&) {
+    return true;
+  }
+  static constexpr bool FixedWidth(const std::string&) { return false; }
+  template <typename T>
+  static constexpr bool FixedWidth(const std::vector<T>&) {
+    return false;
+  }
 };
+
+namespace internal {
+/// Test hook: when armed, every SerializeFields/SerializeFieldsSegmented
+/// call bumps the counter. Lets the serialize-once regression test count
+/// encodes per committed vertex. Arm/disarm only while no engine is running.
+inline std::atomic<uint64_t>* field_encode_counter = nullptr;
+}  // namespace internal
+
+/// Arms (or, with nullptr, disarms) the global encode-counting test hook.
+inline void SetFieldEncodeCounter(std::atomic<uint64_t>* counter) {
+  internal::field_encode_counter = counter;
+}
 
 /// Mask selecting every field of a reflected struct.
 template <typename T>
@@ -79,9 +102,58 @@ constexpr uint32_t AllFieldsMask() {
 /// declaration order) into `w`.
 template <typename T>
 void SerializeFields(const T& value, uint32_t mask, BufferWriter& w) {
+  if (internal::field_encode_counter != nullptr) {
+    internal::field_encode_counter->fetch_add(1, std::memory_order_relaxed);
+  }
   value.ForEachField([&](int index, const auto& field) {
     if ((mask >> index) & 1u) FieldCodec::Write(w, field);
   });
+}
+
+/// SerializeFields recording where each field's encoding ends:
+/// boundaries[0] = 0 and boundaries[i + 1] = bytes written after field i
+/// (== boundaries[i] when field i is not in `mask`). The boundaries let a
+/// *subset* of the encoded mask be copied straight out of the byte run —
+/// the serialize-once fan-out of the commit barrier. `w` must be empty.
+/// boundaries must hold T::kNumFields + 1 entries.
+template <typename T>
+void SerializeFieldsSegmented(const T& value, uint32_t mask, BufferWriter& w,
+                              uint32_t* boundaries) {
+  if (internal::field_encode_counter != nullptr) {
+    internal::field_encode_counter->fetch_add(1, std::memory_order_relaxed);
+  }
+  boundaries[0] = 0;
+  value.ForEachField([&](int index, const auto& field) {
+    if ((mask >> index) & 1u) FieldCodec::Write(w, field);
+    boundaries[index + 1] = static_cast<uint32_t>(w.size());
+  });
+}
+
+/// Appends the encodings of `sub_mask`'s fields from a byte run produced by
+/// SerializeFieldsSegmented (whose mask must be a superset of `sub_mask`),
+/// coalescing adjacent segments into single copies.
+inline void AppendMaskedSegments(const uint8_t* encoded,
+                                 const uint32_t* boundaries, int num_fields,
+                                 uint32_t sub_mask, BufferWriter& out) {
+  uint32_t run_begin = 0;
+  uint32_t run_end = 0;
+  bool open = false;
+  for (int i = 0; i < num_fields; ++i) {
+    if (((sub_mask >> i) & 1u) == 0) continue;
+    if (open && boundaries[i] == run_end) {
+      run_end = boundaries[i + 1];
+      continue;
+    }
+    if (open && run_end > run_begin) {
+      out.WriteRaw(encoded + run_begin, run_end - run_begin);
+    }
+    run_begin = boundaries[i];
+    run_end = boundaries[i + 1];
+    open = true;
+  }
+  if (open && run_end > run_begin) {
+    out.WriteRaw(encoded + run_begin, run_end - run_begin);
+  }
 }
 
 /// Overwrites the fields of `value` selected by `mask` from `r`. Field order
@@ -102,6 +174,28 @@ size_t FieldsByteSize(const T& value, uint32_t mask) {
     if ((mask >> index) & 1u) total += FieldCodec::ByteSize(field);
   });
   return total;
+}
+
+/// Whether every reflected field of T has a fixed-width encoding (no
+/// strings/vectors). Then any masked record occupies exactly
+/// FixedFieldsByteSize<T>(mask) bytes, so a batch's payload region can be
+/// record-addressed — the parallel receive-side decode relies on this.
+template <typename T>
+bool FieldsAreFixedSize() {
+  bool fixed = true;
+  T probe{};
+  probe.ForEachField([&](int, const auto& field) {
+    if (!FieldCodec::FixedWidth(field)) fixed = false;
+  });
+  return fixed;
+}
+
+/// Byte size of any record under `mask`; valid only when
+/// FieldsAreFixedSize<T>().
+template <typename T>
+size_t FixedFieldsByteSize(uint32_t mask) {
+  T probe{};
+  return FieldsByteSize(probe, mask);
 }
 
 }  // namespace flash

@@ -1,6 +1,7 @@
 #ifndef FLASH_COMMON_SERIALIZE_H_
 #define FLASH_COMMON_SERIALIZE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -8,8 +9,34 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace flash {
+
+/// Pooled buffers below this retained size are never reallocated: the win
+/// from returning a few KiB does not pay for the realloc churn.
+inline constexpr size_t kPoolMinRetainBytes = 4096;
+
+/// Clears a pooled vector and bounds its retained capacity. `high_water` is
+/// a per-buffer decayed usage mark: it tracks the recent peak (decaying 25%
+/// per cycle toward current usage), and the buffer is reallocated down to it
+/// once capacity exceeds twice the mark. A frontier spike therefore keeps
+/// its capacity for the following supersteps but is released within a few
+/// quiet cycles, so lane/channel memory stays bounded by recent — not
+/// all-time — peaks.
+template <typename Vec>
+void RecyclePooled(Vec& v, size_t& high_water) {
+  using T = typename Vec::value_type;
+  const size_t used = v.size();
+  v.clear();
+  high_water = std::max(used, high_water - high_water / 4);
+  if (v.capacity() > 2 * high_water &&
+      v.capacity() * sizeof(T) > kPoolMinRetainBytes) {
+    Vec trimmed;
+    trimmed.reserve(high_water);
+    v.swap(trimmed);
+  }
+}
 
 /// Append-only byte sink. All inter-worker traffic in the simulated cluster
 /// is encoded through this writer so that communication volume is measured
@@ -19,7 +46,10 @@ class BufferWriter {
   BufferWriter() = default;
 
   void Clear() { bytes_.clear(); }
+  /// Clears and applies the pooled-capacity policy (RecyclePooled).
+  void Recycle(size_t& high_water) { RecyclePooled(bytes_, high_water); }
   size_t size() const { return bytes_.size(); }
+  size_t capacity() const { return bytes_.capacity(); }
   bool empty() const { return bytes_.empty(); }
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> Release() { return std::move(bytes_); }
@@ -112,6 +142,23 @@ class BufferReader {
     return value;
   }
 
+  /// Non-aborting ReadVarint for data of external provenance (wire frames,
+  /// checkpoint payloads): returns false — leaving the reader position
+  /// unspecified — on a truncated or over-long varint instead of crashing.
+  bool TryReadVarint(uint64_t* out) {
+    uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_ || shift > 63) return false;
+      uint8_t byte = data_[pos_++];
+      value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    *out = value;
+    return true;
+  }
+
   std::string ReadString() {
     size_t n = ReadVarint();
     std::string s(n, '\0');
@@ -133,6 +180,169 @@ class BufferReader {
   size_t size_;
   size_t pos_ = 0;
 };
+
+// --- WireBatch codec -------------------------------------------------------
+//
+// The batched on-wire layout carried by every channel of the simulated
+// cluster. One frame coalesces all vertex updates a sender ships to one
+// destination in one phase:
+//
+//   varint   header          count << 1 | sorted_flag
+//   varint   mask            field mask every payload record was encoded with
+//   varint   ids[count]      columnar vertex ids; ids[0] absolute, then
+//                            plain deltas (id[i] - id[i-1] >= 0) when the
+//                            sequence is non-decreasing (sorted_flag = 1),
+//                            zigzag deltas otherwise
+//   bytes    payloads        count SerializeFields records, contiguous, in
+//                            id order
+//
+// Compared to the per-update `varint(absolute id) + payload` stream this
+// replaces, the frame pays its header once per (channel, phase) and one
+// small delta varint per id. Senders that emit ids in ascending order
+// (commit order after the dirty-list sort) get the densest form; arbitrary
+// emission order (push-mode lanes) still round-trips via zigzag. A frame
+// with count == 0 is never emitted: empty channels carry zero bytes.
+//
+// Encoding never fails; decoding is fallible (frames cross the simulated
+// unreliable wire and live in checkpoint logs) and returns Status, never
+// crashes, on truncated or corrupt input. Payload records are decoded by
+// the caller (they need the VData type); the codec frames the header + ids
+// and leaves the reader positioned at the first payload byte.
+
+/// Id type carried by wire frames; matches VertexId (graph/graph.h).
+using WireId = uint32_t;
+
+/// One contiguous run of records contributing to a frame: `count` ids and
+/// their already-serialised payload bytes. EncodeWireFrame concatenates
+/// parts in order, so per-shard lanes merge into one frame without copying.
+struct WireFramePart {
+  const WireId* ids = nullptr;
+  size_t count = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+};
+
+/// Decoded frame header.
+struct WireFrameHeader {
+  uint64_t count = 0;
+  uint32_t mask = 0;
+  bool sorted = false;
+};
+
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Appends one frame built from `parts` (concatenated in order) to `out`.
+/// Returns the number of records framed; writes nothing when that is zero.
+inline uint64_t EncodeWireFrame(BufferWriter& out, uint32_t mask,
+                                const WireFramePart* parts, size_t num_parts) {
+  uint64_t count = 0;
+  for (size_t p = 0; p < num_parts; ++p) count += parts[p].count;
+  if (count == 0) return 0;
+  bool sorted = true;
+  WireId prev = 0;
+  bool have_prev = false;
+  for (size_t p = 0; p < num_parts && sorted; ++p) {
+    for (size_t i = 0; i < parts[p].count; ++i) {
+      const WireId id = parts[p].ids[i];
+      if (have_prev && id < prev) {
+        sorted = false;
+        break;
+      }
+      prev = id;
+      have_prev = true;
+    }
+  }
+  out.WriteVarint(count << 1 | (sorted ? 1 : 0));
+  out.WriteVarint(mask);
+  int64_t last = 0;
+  bool first = true;
+  for (size_t p = 0; p < num_parts; ++p) {
+    for (size_t i = 0; i < parts[p].count; ++i) {
+      const int64_t id = parts[p].ids[i];
+      if (first) {
+        out.WriteVarint(static_cast<uint64_t>(id));
+        first = false;
+      } else if (sorted) {
+        out.WriteVarint(static_cast<uint64_t>(id - last));
+      } else {
+        out.WriteVarint(ZigZagEncode64(id - last));
+      }
+      last = id;
+    }
+  }
+  for (size_t p = 0; p < num_parts; ++p) {
+    if (parts[p].payload_size != 0) {
+      out.WriteRaw(parts[p].payload, parts[p].payload_size);
+    }
+  }
+  return count;
+}
+
+/// Reads a frame header, leaving `r` positioned at the first id.
+inline Status ReadWireFrameHeader(BufferReader& r, WireFrameHeader* header) {
+  uint64_t h = 0;
+  uint64_t mask = 0;
+  if (!r.TryReadVarint(&h) || !r.TryReadVarint(&mask)) {
+    return Status::OutOfRange("wire frame: truncated header");
+  }
+  if (mask > UINT32_MAX) {
+    return Status::InvalidArgument("wire frame: mask exceeds 32 bits");
+  }
+  header->count = h >> 1;
+  header->sorted = (h & 1) != 0;
+  header->mask = static_cast<uint32_t>(mask);
+  // Every id costs at least one byte, so a count beyond the remaining bytes
+  // is corruption; reject it before sizing any decode buffer from it.
+  if (header->count > r.remaining()) {
+    return Status::OutOfRange("wire frame: record count exceeds buffer");
+  }
+  return Status::OK();
+}
+
+/// Decodes `header.count` delta-encoded ids, appending them to `*ids` and
+/// leaving `r` positioned at the first payload byte. Rejects truncation and
+/// ids outside the 32-bit VertexId range.
+inline Status ReadWireFrameIds(BufferReader& r, const WireFrameHeader& header,
+                               std::vector<WireId>* ids) {
+  ids->reserve(ids->size() + header.count);
+  int64_t last = 0;
+  for (uint64_t i = 0; i < header.count; ++i) {
+    uint64_t raw = 0;
+    if (!r.TryReadVarint(&raw)) {
+      return Status::OutOfRange("wire frame: truncated id section");
+    }
+    int64_t id;
+    if (i == 0) {
+      if (raw > UINT32_MAX) {
+        return Status::InvalidArgument("wire frame: id exceeds VertexId range");
+      }
+      id = static_cast<int64_t>(raw);
+    } else {
+      // A legitimate delta between 32-bit ids fits 33 bits (34 zigzagged);
+      // reject anything larger before the add so corrupt input cannot
+      // overflow the running id.
+      if (raw > (static_cast<uint64_t>(UINT32_MAX) << 2)) {
+        return Status::InvalidArgument("wire frame: delta exceeds id range");
+      }
+      const int64_t delta = header.sorted
+                                ? static_cast<int64_t>(raw)
+                                : ZigZagDecode64(raw);
+      id = last + delta;
+      if (id < 0 || id > static_cast<int64_t>(UINT32_MAX)) {
+        return Status::InvalidArgument("wire frame: id exceeds VertexId range");
+      }
+    }
+    ids->push_back(static_cast<WireId>(id));
+    last = id;
+  }
+  return Status::OK();
+}
 
 }  // namespace flash
 

@@ -72,11 +72,21 @@ class GraphApi {
     const int shards = options_.threads_per_worker;
     sparse_lanes_.resize(options_.num_workers);
     local_pending_.resize(options_.num_workers);
+    local_pending_high_water_.resize(options_.num_workers);
     for (int w = 0; w < options_.num_workers; ++w) {
-      sparse_lanes_[w].assign(
-          shards, std::vector<SparseLane>(options_.num_workers));
+      sparse_lanes_[w].assign(shards,
+                              std::vector<WireLane>(options_.num_workers));
       local_pending_[w].resize(shards);
+      local_pending_high_water_[w].assign(shards, 0);
     }
+    recv_.resize(options_.num_workers);
+    commit_lanes_.resize(options_.num_workers);
+    for (auto& lanes : commit_lanes_) lanes.resize(options_.num_workers);
+    log_lane_.resize(options_.num_workers);
+    encode_scratch_.resize(options_.num_workers);
+    encode_high_water_.assign(options_.num_workers, 0);
+    subset_scratch_.resize(options_.num_workers);
+    committed_scratch_.assign(options_.num_workers, 0);
     forward_ = std::make_shared<internal::CsrEdgeSet<VData>>(graph_, false);
     reverse_ = std::make_shared<internal::CsrEdgeSet<VData>>(graph_, true);
     if (options_.fault_plan.Active()) {
@@ -416,7 +426,7 @@ class GraphApi {
             Timer task_timer;
             VertexStore<VData>& store = stores_[w];
             const auto& frontier = U.Owned(w);
-            std::vector<SparseLane>& lanes = sparse_lanes_[w][s];
+            std::vector<WireLane>& lanes = sparse_lanes_[w][s];
             std::vector<LocalUpdate>& pending = local_pending_[w][s];
             uint64_t edges = 0;
             VData tmp;
@@ -437,10 +447,9 @@ class GraphApi {
                   pending.push_back({dst, tmp});
                   return;
                 }
-                SparseLane& lane = lanes[owner];
-                lane.buf.WriteVarint(dst);
-                SerializeFields(tmp, mask, lane.buf);
-                ++lane.msgs;
+                WireLane& lane = lanes[owner];
+                lane.ids.push_back(dst);
+                SerializeFields(tmp, mask, lane.payload);
               });
             }
             StepTally& tally = task_tally[w * shards + s];
@@ -450,8 +459,11 @@ class GraphApi {
 
       // Round 1 join: apply the deferred own-master updates in shard order
       // (shards split the frontier contiguously, so this is frontier order
-      // at every shard count) and flush the shard lanes onto the bus. Each
-      // worker touches only its own store and outgoing channels.
+      // at every shard count) and coalesce each destination's shard lanes
+      // into one delta-encoded wire frame on the bus. The merged id
+      // sequence is frontier emission order — invariant to the shard count
+      // — so frame bytes are schedule-invariant. Each worker touches only
+      // its own store and outgoing channels.
       RunPerWorker("sparse:flush", [&](int w) {
         Timer merge_timer;
         VertexStore<VData>& store = stores_[w];
@@ -465,19 +477,31 @@ class GraphApi {
             if (first) out[w].push_back(update.dst);
             ++applied;
           }
-          local_pending_[w][s].clear();
-          std::vector<SparseLane>& lanes = sparse_lanes_[w][s];
-          for (int dst = 0; dst < num_workers; ++dst) {
-            SparseLane& lane = lanes[dst];
-            if (lane.buf.empty()) continue;
-            bus_.Channel(w, dst).WriteRaw(lane.buf.bytes().data(),
-                                          lane.buf.size());
-            bus_.CountMessages(w, dst, lane.msgs);
-            lane.buf.Clear();
-            lane.msgs = 0;
-          }
+          RecyclePooled(local_pending_[w][s], local_pending_high_water_[w][s]);
         }
         store.AppendDirty(std::move(dirty));
+        std::vector<WireFramePart> parts;
+        parts.reserve(shards);
+        for (int dst = 0; dst < num_workers; ++dst) {
+          if (dst == w) continue;
+          parts.clear();
+          uint64_t count = 0;
+          for (int s = 0; s < shards; ++s) {
+            WireLane& lane = sparse_lanes_[w][s][dst];
+            if (lane.empty()) continue;
+            parts.push_back(lane.AsPart());
+            count += lane.ids.size();
+          }
+          if (count == 0) continue;
+          EncodeWireFrame(bus_.Channel(w, dst), mask, parts.data(),
+                          parts.size());
+          bus_.CountMessages(w, dst, count);
+        }
+        for (int s = 0; s < shards; ++s) {
+          for (int dst = 0; dst < num_workers; ++dst) {
+            sparse_lanes_[w][s][dst].Recycle();
+          }
+        }
         worker_tally[w].verts += applied;
         worker_tally[w].seconds += merge_timer.Seconds();
       });
@@ -493,15 +517,53 @@ class GraphApi {
     }
     {
       ScopedTimer compute_timer(&metrics_.compute_seconds);
-      RunPerWorker("sparse:reduce", [&](int w) {
-        Timer reduce_timer;
-        uint64_t applied = 0;
-        for (int src = 0; src < num_workers; ++src) {
-          if (src == w) continue;
-          applied += ApplyUpdates(w, bus_.Incoming(w, src), mask, r, out[w]);
+      // Owner-side fold, three phases. Scan: parse every incoming frame's
+      // header + delta ids (cheap, serial per worker) and index where its
+      // payload records start. Decode: rebuild the update values across all
+      // (worker, shard) tasks — pure reads, batch count headers give each
+      // shard an exact record range. Apply: fold the decoded values with R
+      // strictly in the original (source, record) order on one task per
+      // worker, so the reduction chain — and any floating-point rounding —
+      // is bit-identical at every host thread count.
+      RunPerWorker("sparse:scan", [&](int w) {
+        Timer scan_timer;
+        ScanIncomingFrames(w, mask);
+        worker_tally[w].seconds += scan_timer.Seconds();
+      });
+      const bool fixed = FieldsAreFixedSize<VData>();
+      const size_t stride = fixed ? FixedFieldsByteSize<VData>(mask) : 0;
+      RunWorkerShards(
+          "sparse:decode",
+          [&](int w) {
+            return fixed ? recv_[w].ids.size() : recv_[w].frames.size();
+          },
+          [&](int w, int s, size_t lo, size_t hi) {
+            Timer task_timer;
+            if (fixed) {
+              DecodeRecordRange(w, lo, hi, mask, stride);
+            } else {
+              DecodeFrameRange(w, lo, hi, mask);
+            }
+            task_tally[w * shards + s].seconds += task_timer.Seconds();
+          });
+      RunPerWorker("sparse:apply", [&](int w) {
+        Timer apply_timer;
+        RecvScratch& scratch = recv_[w];
+        VertexStore<VData>& store = stores_[w];
+        std::vector<VertexId> dirty;
+        const size_t n = scratch.ids.size();
+        for (size_t i = 0; i < n; ++i) {
+          const VertexId v = scratch.ids[i];
+          FLASH_DCHECK(partition_.Owner(v) == w);
+          bool first = !store.IsDirty(v);
+          VData& next = store.MutableNext(v, dirty);
+          r(scratch.values[i], next);
+          if (first) out[w].push_back(v);
         }
-        worker_tally[w].verts += applied;
-        worker_tally[w].seconds += reduce_timer.Seconds();
+        store.AppendDirty(std::move(dirty));
+        scratch.Recycle();
+        worker_tally[w].verts += n;
+        worker_tally[w].seconds += apply_timer.Seconds();
       });
     }
     FoldTallies(task_tally, shards, worker_tally, sample);
@@ -581,11 +643,60 @@ class GraphApi {
   }
 
  private:
-  /// One (worker, shard) serialisation lane of EDGEMAPSPARSE round 1: the
-  /// wire buffer headed for one destination worker plus its message count.
-  struct SparseLane {
-    BufferWriter buf;
-    uint64_t msgs = 0;
+  /// One accumulation lane of update traffic headed for a single destination
+  /// worker: update targets in emission order plus their serialised payload
+  /// records, columnar so the flush can coalesce lanes into one
+  /// delta-encoded wire frame per channel (WireBatch codec, serialize.h).
+  /// Capacity is pooled across supersteps under the high-water-mark policy.
+  struct WireLane {
+    std::vector<VertexId> ids;
+    BufferWriter payload;
+    size_t ids_high_water = 0;
+    size_t payload_high_water = 0;
+
+    bool empty() const { return ids.empty(); }
+    WireFramePart AsPart() const {
+      return {ids.data(), ids.size(), payload.bytes().data(), payload.size()};
+    }
+    void Recycle() {
+      RecyclePooled(ids, ids_high_water);
+      payload.Recycle(payload_high_water);
+    }
+    size_t CapacityBytes() const {
+      return ids.capacity() * sizeof(VertexId) + payload.capacity();
+    }
+  };
+
+  /// One decoded incoming frame of EDGEMAPSPARSE round 1: where its records
+  /// sit in the worker's concatenated id/value arrays and where its payload
+  /// region starts in the channel buffer.
+  struct RecvFrame {
+    int src = 0;
+    size_t first_record = 0;
+    const uint8_t* payload = nullptr;
+    size_t payload_size = 0;
+  };
+
+  /// Per-worker receive-side scratch: ids and decoded values of all incoming
+  /// sparse frames, concatenated in source order (= the exact fold order the
+  /// serial walk used), filled by the parallel decode phase.
+  struct RecvScratch {
+    std::vector<RecvFrame> frames;
+    std::vector<VertexId> ids;
+    std::vector<VData> values;
+    size_t ids_high_water = 0;
+    size_t values_high_water = 0;
+
+    void Recycle() {
+      frames.clear();
+      RecyclePooled(ids, ids_high_water);
+      RecyclePooled(values, values_high_water);
+    }
+    size_t CapacityBytes() const {
+      return frames.capacity() * sizeof(RecvFrame) +
+             ids.capacity() * sizeof(VertexId) +
+             values.capacity() * sizeof(VData);
+    }
   };
 
   /// A deferred round-1 update to one of the executing worker's own
@@ -792,32 +903,101 @@ class GraphApi {
     SyncFaultStats();
   }
 
-  /// Owner-side fold of one serialised update buffer (sparse round 1).
-  /// Returns the number of updates applied; first-touch targets are appended
-  /// to `out`.
-  template <typename R>
-  uint64_t ApplyUpdates(int w, const std::vector<uint8_t>& buffer,
-                        uint32_t mask, R&& r, std::vector<VertexId>& out) {
-    if (buffer.empty()) return 0;
+  /// Sparse receive phase 1: parses the header + id section of every frame
+  /// worker `w` received, concatenating ids into recv_[w] in source order
+  /// and recording where each frame's payload region begins.
+  void ScanIncomingFrames(int w, uint32_t mask) {
+    RecvScratch& scratch = recv_[w];
+    scratch.frames.clear();
+    scratch.ids.clear();
+    for (int src = 0; src < options_.num_workers; ++src) {
+      if (src == w) continue;
+      const std::vector<uint8_t>& buffer = bus_.Incoming(w, src);
+      if (buffer.empty()) continue;
+      BufferReader reader(buffer);
+      WireFrameHeader header;
+      Status st = ReadWireFrameHeader(reader, &header);
+      FLASH_CHECK(st.ok()) << "sparse frame " << src << "->" << w << ": "
+                           << st.ToString();
+      FLASH_CHECK(header.mask == mask)
+          << "sparse frame mask mismatch: " << header.mask << " vs " << mask;
+      const size_t first = scratch.ids.size();
+      st = ReadWireFrameIds(reader, header, &scratch.ids);
+      FLASH_CHECK(st.ok()) << "sparse frame " << src << "->" << w << ": "
+                           << st.ToString();
+      scratch.frames.push_back({src, first,
+                                buffer.data() + (buffer.size() -
+                                                 reader.remaining()),
+                                reader.remaining()});
+    }
+    scratch.values.resize(scratch.ids.size());
+  }
+
+  /// Sparse receive phase 2, fixed-width VData: decodes records [lo, hi) of
+  /// worker `w`'s concatenated frames — record i of a frame sits exactly
+  /// `stride` bytes past record i-1, so any record range maps straight onto
+  /// payload offsets. Pure reads of `current`; writes only values[lo, hi).
+  void DecodeRecordRange(int w, size_t lo, size_t hi, uint32_t mask,
+                         size_t stride) {
+    RecvScratch& scratch = recv_[w];
     VertexStore<VData>& store = stores_[w];
-    std::vector<VertexId> dirty;
-    BufferReader reader(buffer);
-    uint64_t applied = 0;
-    while (!reader.AtEnd()) {
-      VertexId v = static_cast<VertexId>(reader.ReadVarint());
-      FLASH_DCHECK(partition_.Owner(v) == w);
+    const size_t num_frames = scratch.frames.size();
+    size_t f = 0;
+    auto frame_end = [&](size_t index) {
+      return index + 1 < num_frames ? scratch.frames[index + 1].first_record
+                                    : scratch.ids.size();
+    };
+    for (size_t i = lo; i < hi; ++i) {
+      while (f < num_frames && frame_end(f) <= i) ++f;
+      const RecvFrame& frame = scratch.frames[f];
+      const size_t offset = (i - frame.first_record) * stride;
+      FLASH_DCHECK(offset + stride <= frame.payload_size);
+      BufferReader reader(frame.payload + offset, stride);
       // Rebuild the sender's tmp value: non-critical fields are the owner's
       // authoritative ones, critical fields come from the wire.
-      VData tmp = store.Current(v);
+      VData tmp = store.Current(scratch.ids[i]);
       DeserializeFields(tmp, mask, reader);
-      bool first = !store.IsDirty(v);
-      VData& next = store.MutableNext(v, dirty);
-      r(tmp, next);
-      if (first) out.push_back(v);
-      ++applied;
+      scratch.values[i] = std::move(tmp);
     }
-    store.AppendDirty(std::move(dirty));
-    return applied;
+  }
+
+  /// Sparse receive phase 2, variable-width VData: records must be decoded
+  /// in sequence, so the split unit is whole frames [lo, hi) instead.
+  void DecodeFrameRange(int w, size_t lo, size_t hi, uint32_t mask) {
+    RecvScratch& scratch = recv_[w];
+    VertexStore<VData>& store = stores_[w];
+    for (size_t f = lo; f < hi; ++f) {
+      const RecvFrame& frame = scratch.frames[f];
+      const size_t end = f + 1 < scratch.frames.size()
+                             ? scratch.frames[f + 1].first_record
+                             : scratch.ids.size();
+      BufferReader reader(frame.payload, frame.payload_size);
+      for (size_t i = frame.first_record; i < end; ++i) {
+        VData tmp = store.Current(scratch.ids[i]);
+        DeserializeFields(tmp, mask, reader);
+        scratch.values[i] = std::move(tmp);
+      }
+    }
+  }
+
+  /// Decodes one mirror-sync frame and overlays its masked fields onto
+  /// worker `w`'s replicas. Masters are unique per vertex, so concurrent
+  /// calls for different source channels touch disjoint vertices.
+  void ApplyMirrorFrame(int w, uint32_t mask,
+                        const std::vector<uint8_t>& buffer) {
+    if (buffer.empty()) return;
+    BufferReader reader(buffer);
+    WireFrameHeader header;
+    Status st = ReadWireFrameHeader(reader, &header);
+    FLASH_CHECK(st.ok()) << "mirror frame: " << st.ToString();
+    FLASH_CHECK(header.mask == mask)
+        << "mirror frame mask mismatch: " << header.mask << " vs " << mask;
+    thread_local std::vector<VertexId> ids;
+    ids.clear();
+    st = ReadWireFrameIds(reader, header, &ids);
+    FLASH_CHECK(st.ok()) << "mirror frame: " << st.ToString();
+    VertexStore<VData>& store = stores_[w];
+    for (VertexId v : ids) store.ApplyMirror(v, mask, reader);
   }
 
   /// VERTEXMAP implementation; M may be internal::NoMap for filter-only.
@@ -884,6 +1064,7 @@ class GraphApi {
   VertexSubset FinishStep(std::vector<std::vector<VertexId>> out,
                           StepSample sample) {
     const uint32_t mask = SyncMask();
+    const uint32_t all_fields = AllFieldsMask<VData>();
     const int num_workers = options_.num_workers;
     const bool broadcast = virtual_edges_ || !options_.necessary_mirrors_only;
     const bool log_recovery = ckpt_ != nullptr;
@@ -893,53 +1074,116 @@ class GraphApi {
     {
       ScopedTimer ser_timer(&metrics_.serialize_seconds);
       RunPerWorker("barrier:commit", [&](int w) {
-        BufferWriter commit_log;
+        // Ascending commit order makes every destination's id batch sorted —
+        // the densest delta encoding — and is unobservable otherwise:
+        // committed masters are disjoint promotions and the out-frontier was
+        // already fixed during the compute phase.
+        stores_[w].SortDirtyForCommit();
+        std::vector<WireLane>& lanes = commit_lanes_[w];
+        WireLane& log_lane = log_lane_[w];
+        BufferWriter& enc = encode_scratch_[w];
+        BufferWriter& sub = subset_scratch_[w];
+        uint32_t bounds[VData::kNumFields + 1];
+        // Serialize-once: each committed value is encoded a single time.
+        // When redo-logging, the encoding carries all fields (the log needs
+        // full master state) and the mirror subset is copied out of it via
+        // the recorded field-segment boundaries; otherwise the sync mask is
+        // encoded directly and fanned out as-is.
+        const uint32_t encode_mask = log_recovery ? all_fields : mask;
+        const bool subset = mask != encode_mask;
+        uint64_t committed = 0;
         stores_[w].Commit([&](VertexId v, const VData& value) {
-          if (log_recovery) {
-            commit_log.WriteVarint(v);
-            SerializeFields(value, AllFieldsMask<VData>(), commit_log);
-          }
+          ++committed;
           uint64_t targets = broadcast
                                  ? (all_workers_mask & ~(uint64_t{1} << w))
                                  : partition_.MirrorMask(v);
+          if (!log_recovery && targets == 0) return;
+          enc.Clear();
+          SerializeFieldsSegmented(value, encode_mask, enc, bounds);
+          if (log_recovery) {
+            log_lane.ids.push_back(v);
+            log_lane.payload.WriteRaw(enc.bytes().data(), enc.size());
+          }
+          if (targets == 0) return;
+          const uint8_t* wire = enc.bytes().data();
+          size_t wire_size = enc.size();
+          if (subset) {
+            sub.Clear();
+            AppendMaskedSegments(enc.bytes().data(), bounds,
+                                 VData::kNumFields, mask, sub);
+            wire = sub.bytes().data();
+            wire_size = sub.size();
+          }
           while (targets != 0) {
             int dst = __builtin_ctzll(targets);
             targets &= targets - 1;
-            BufferWriter& channel = bus_.Channel(w, dst);
-            channel.WriteVarint(v);
-            SerializeFields(value, mask, channel);
-            bus_.CountMessages(w, dst);
+            WireLane& lane = lanes[dst];
+            lane.ids.push_back(v);
+            lane.payload.WriteRaw(wire, wire_size);
           }
         });
-        if (log_recovery && !commit_log.empty()) {
-          ckpt_->log(w).Append(LogRecordType::kCommit, AllFieldsMask<VData>(),
-                               commit_log.bytes().data(), commit_log.size());
+        committed_scratch_[w] = committed;
+        for (int dst = 0; dst < num_workers; ++dst) {
+          WireLane& lane = lanes[dst];
+          if (!lane.empty()) {
+            const WireFramePart part = lane.AsPart();
+            EncodeWireFrame(bus_.Channel(w, dst), mask, &part, 1);
+            bus_.CountMessages(w, dst, lane.ids.size());
+          }
+          lane.Recycle();
         }
+        if (log_recovery) {
+          if (!log_lane.empty()) {
+            // The redo-log record is the same wire frame the mirrors would
+            // see under an all-fields mask; replay parses it identically.
+            enc.Clear();
+            const WireFramePart part = log_lane.AsPart();
+            EncodeWireFrame(enc, all_fields, &part, 1);
+            ckpt_->log(w).Append(LogRecordType::kCommit, all_fields,
+                                 enc.bytes().data(), enc.size());
+          }
+          log_lane.Recycle();
+        }
+        enc.Recycle(encode_high_water_[w]);
       });
+      for (int w = 0; w < num_workers; ++w) {
+        metrics_.masters_committed += committed_scratch_[w];
+      }
     }
     {
       ScopedTimer comm_timer(&metrics_.comm_seconds);
       bus_.Exchange();
-      RunPerWorker("barrier:apply", [&](int w) {
-        for (int src = 0; src < num_workers; ++src) {
-          if (src == w) continue;
-          const auto& buffer = bus_.Incoming(w, src);
-          if (buffer.empty()) continue;
-          if (log_recovery) {
+      if (log_recovery) {
+        // Log appends must record each worker's frames in source order, so
+        // keep the serial per-worker walk when redo-logging.
+        RunPerWorker("barrier:apply", [&](int w) {
+          for (int src = 0; src < num_workers; ++src) {
+            if (src == w) continue;
+            const auto& buffer = bus_.Incoming(w, src);
+            if (buffer.empty()) continue;
             ckpt_->log(w).Append(LogRecordType::kMirror, mask, buffer.data(),
                                  buffer.size());
+            ApplyMirrorFrame(w, mask, buffer);
           }
-          BufferReader reader(buffer);
-          while (!reader.AtEnd()) {
-            VertexId v = static_cast<VertexId>(reader.ReadVarint());
-            stores_[w].ApplyMirror(v, mask, reader);
-          }
-        }
-      });
+        });
+      } else {
+        // Mirror updates for a vertex come only from its unique master, so
+        // source channels decode + apply concurrently across shards.
+        RunWorkerShards(
+            "barrier:apply",
+            [&](int) { return static_cast<size_t>(num_workers); },
+            [&](int w, int /*shard*/, size_t lo, size_t hi) {
+              for (size_t src = lo; src < hi; ++src) {
+                if (static_cast<int>(src) == w) continue;
+                ApplyMirrorFrame(w, mask, bus_.Incoming(w, src));
+              }
+            });
+      }
     }
     sample.bytes_total += bus_.LastTotalBytes();
     sample.bytes_max += bus_.LastMaxWorkerBytes();
     sample.msgs_total += bus_.LastMessages();
+    UpdateWirePoolPeak();
 
     if (ckpt_ != nullptr) last_frontier_ = out;  // For the next snapshot.
     VertexSubset result =
@@ -955,6 +1199,33 @@ class GraphApi {
   /// Metrics snapshot an algorithm returns carries the fault story so far.
   void SyncFaultStats() {
     if (injector_ != nullptr) metrics_.fault = injector_->stats();
+  }
+
+  /// Samples the capacity retained by every pooled wire buffer — bus
+  /// channels, sparse/commit lanes, deferred-local lists, receive scratch —
+  /// into the run's peak gauge. Runs single-threaded at the end of each
+  /// barrier; O(workers * shards * workers) sums of cached capacities.
+  void UpdateWirePoolPeak() {
+    uint64_t capacity = bus_.PoolCapacityBytes();
+    const int shards = options_.threads_per_worker;
+    for (int w = 0; w < options_.num_workers; ++w) {
+      for (int s = 0; s < shards; ++s) {
+        capacity +=
+            local_pending_[w][s].capacity() * sizeof(LocalUpdate);
+        for (const WireLane& lane : sparse_lanes_[w][s]) {
+          capacity += lane.CapacityBytes();
+        }
+      }
+      for (const WireLane& lane : commit_lanes_[w]) {
+        capacity += lane.CapacityBytes();
+      }
+      capacity += log_lane_[w].CapacityBytes();
+      capacity += encode_scratch_[w].capacity();
+      capacity += subset_scratch_[w].capacity();
+      capacity += recv_[w].CapacityBytes();
+    }
+    metrics_.wire_pool_peak_bytes =
+        std::max(metrics_.wire_pool_peak_bytes, capacity);
   }
 
   /// Fault-plan hook at the entry of every primitive (= superstep): take a
@@ -1052,15 +1323,24 @@ class GraphApi {
     const RecoveryLog& log = ckpt_->log(w);
     OBS_SPAN_VAR(replay_span, tracer_.get(), "recover:replay",
                  obs::SpanKind::kRecovery, w);
+    std::vector<VertexId> replay_ids;
     log.ForEachRecord([&](LogRecordType type, uint32_t mask,
                           BufferReader& payload) {
       VertexStore<VData>& store = stores_[w];
-      while (!payload.AtEnd()) {
-        VertexId v = static_cast<VertexId>(payload.ReadVarint());
-        // Both record kinds promote authoritative bytes straight into the
-        // current image: commit records carry full master values, mirror
-        // records the synced critical fields.
-        (void)type;
+      // Each record payload is one wire frame (self-describing mask equal to
+      // the record's). Both record kinds promote authoritative bytes
+      // straight into the current image: commit records carry full master
+      // values, mirror records the synced critical fields.
+      (void)type;
+      WireFrameHeader header;
+      Status st = ReadWireFrameHeader(payload, &header);
+      FLASH_CHECK(st.ok()) << "redo-log frame: " << st.ToString();
+      FLASH_CHECK(header.mask == mask)
+          << "redo-log frame mask mismatch: " << header.mask << " vs " << mask;
+      replay_ids.clear();
+      st = ReadWireFrameIds(payload, header, &replay_ids);
+      FLASH_CHECK(st.ok()) << "redo-log frame: " << st.ToString();
+      for (VertexId v : replay_ids) {
         DeserializeFields(store.DirectCurrent(v), mask, payload);
         ++stats.replayed_records;
       }
@@ -1082,11 +1362,21 @@ class GraphApi {
   bool virtual_edges_ = false;
   EdgeSetRef forward_;
   EdgeSetRef reverse_;
-  // Engine-owned EDGEMAPSPARSE scratch, reallocation-free across
-  // supersteps: wire lanes and deferred own-master updates, both indexed
-  // [worker][shard] so concurrent tasks write disjoint slots.
-  std::vector<std::vector<std::vector<SparseLane>>> sparse_lanes_;
+  // Engine-owned wire scratch, pooled across supersteps under the
+  // high-water-mark policy (RecyclePooled): EDGEMAPSPARSE lanes and
+  // deferred own-master updates indexed [worker][shard] so concurrent tasks
+  // write disjoint slots; per-worker receive scratch, commit fan-out lanes,
+  // redo-log lane, and the serialize-once encode scratch.
+  std::vector<std::vector<std::vector<WireLane>>> sparse_lanes_;
   std::vector<std::vector<std::vector<LocalUpdate>>> local_pending_;
+  std::vector<std::vector<size_t>> local_pending_high_water_;
+  std::vector<RecvScratch> recv_;
+  std::vector<std::vector<WireLane>> commit_lanes_;
+  std::vector<WireLane> log_lane_;
+  std::vector<BufferWriter> encode_scratch_;
+  std::vector<size_t> encode_high_water_;
+  std::vector<BufferWriter> subset_scratch_;
+  std::vector<uint64_t> committed_scratch_;
   // Fault-injection state, armed only when options_.fault_plan.Active():
   // the injector owns the counter-based fault PRNG + counters, the
   // checkpoint manager the per-worker snapshots and redo logs, and

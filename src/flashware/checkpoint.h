@@ -51,11 +51,13 @@ enum class LogRecordType : uint8_t {
 };
 
 /// Per-worker redo log: the byte-exact state mutations applied to one
-/// worker's store since the last checkpoint, in application order. Replaying
-/// the log over the checkpoint image reproduces the store bit-identically —
-/// including mirrors, whose sync payloads are logged with the field mask
-/// they were applied under. Single writer (the owning worker's barrier
-/// task); cleared whenever a new checkpoint supersedes it.
+/// worker's store since the last checkpoint, in application order. Each
+/// record's payload is one WireBatch frame (serialize.h) — kCommit frames
+/// carry full master values under an all-fields mask, kMirror records are
+/// the received sync frames verbatim — so replaying the log over the
+/// checkpoint image reproduces the store bit-identically. Single writer
+/// (the owning worker's barrier task); cleared whenever a new checkpoint
+/// supersedes it.
 class RecoveryLog {
  public:
   void Append(LogRecordType type, uint32_t mask, const uint8_t* data,

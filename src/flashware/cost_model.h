@@ -30,7 +30,11 @@ struct ClusterConfig {
   double ns_per_edge = 3.0;        // CSR edge examination + user F/M.
   double ns_per_vertex = 6.0;      // Vertex update incl. store bookkeeping.
   double bytes_per_second = 1.1e9; // ~10GbE effective bandwidth (per node).
-  double ns_per_message = 12.0;    // Per vertex-message marshalling cost.
+  // Per vertex-message marshalling cost. Recalibrated for the batched wire
+  // format (DESIGN.md): one frame per (channel, phase) amortises the
+  // header/dispatch share of each message, leaving mostly the per-record
+  // delta-id encode + payload copy.
+  double ns_per_message = 8.0;
   double barrier_seconds = 40e-6;  // BSP barrier + collective latency.
 
   /// Ratio of the modelled cluster core's speed to the host core that ran

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "obs/tracer.h"
 
 namespace flash {
@@ -99,7 +100,8 @@ void FaultInjector::TransmitChannel(uint64_t epoch, int src, int dst,
   // or the retry budget runs out; then the recovery path resends it — the
   // checkpoint replay regenerates exactly these bytes, so correctness is
   // independent of how often the wire misbehaved.
-  std::vector<uint32_t> arrivals;  // Fragment seqs in wire arrival order.
+  std::vector<uint32_t>& arrivals = arrivals_scratch_;  // Seqs in wire order.
+  arrivals.clear();
   arrivals.reserve(nfrags);
   for (uint64_t seq = 0; seq < nfrags; ++seq) {
     const uint64_t bytes = frag_size(seq);
@@ -151,7 +153,8 @@ void FaultInjector::TransmitChannel(uint64_t epoch, int src, int dst,
   // Receiver side: discard duplicate seqs, count out-of-order arrivals, and
   // reassemble fragments at their seq offsets.
   delivered.resize(payload.size());
-  std::vector<uint8_t> seen(nfrags, 0);
+  std::vector<uint8_t>& seen = seen_scratch_;
+  seen.assign(nfrags, 0);
   uint32_t highest_seen = 0;
   bool any_seen = false;
   for (uint32_t seq : arrivals) {
@@ -172,6 +175,8 @@ void FaultInjector::TransmitChannel(uint64_t epoch, int src, int dst,
   for (uint64_t seq = 0; seq < nfrags; ++seq) {
     FLASH_DCHECK(seen[seq]) << "reliable transport lost fragment " << seq;
   }
+  RecyclePooled(arrivals, arrivals_high_water_);
+  RecyclePooled(seen, seen_high_water_);
 }
 
 }  // namespace flash

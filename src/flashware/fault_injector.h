@@ -115,6 +115,12 @@ class FaultInjector {
   FaultPlan plan_;
   FaultStats stats_;
   std::vector<uint8_t> crash_fired_;  // Parallel to worker_crash_schedule.
+  // Per-transmit scratch, pooled across calls (TransmitChannel runs serially
+  // inside Exchange): fragment arrival order and the receiver's seen set.
+  std::vector<uint32_t> arrivals_scratch_;
+  std::vector<uint8_t> seen_scratch_;
+  size_t arrivals_high_water_ = 0;
+  size_t seen_high_water_ = 0;
   obs::Tracer* tracer_ = nullptr;
 };
 

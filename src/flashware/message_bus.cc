@@ -16,6 +16,9 @@ uint64_t MessageBus::Exchange() {
   // Fixed-size scratch; reallocation-free across supersteps.
   sent_scratch_.assign(num_workers_, 0);
   recv_scratch_.assign(num_workers_, 0);
+  if (channel_high_water_.empty()) {
+    channel_high_water_.assign(outgoing_.size(), 0);
+  }
   std::vector<uint64_t>& sent = sent_scratch_;
   std::vector<uint64_t>& recv = recv_scratch_;
   const bool faulty = injector_ != nullptr && injector_->message_faults();
@@ -44,7 +47,7 @@ uint64_t MessageBus::Exchange() {
         uint64_t arrived = 0;
         injector_->TransmitChannel(epoch, src, dst, out.bytes(),
                                    incoming_[index], &wire, &arrived);
-        out.Clear();
+        out.Recycle(channel_high_water_[index]);
         sent[src] += wire;
         recv[dst] += arrived;
         total += wire;
@@ -56,11 +59,15 @@ uint64_t MessageBus::Exchange() {
       recv[dst] += n;
       total += n;
       channel_span.args(n, channel_msgs);
-      // Swap, then clear: both sides keep their capacity across supersteps.
+      // Swap, then recycle: both sides keep their capacity across
+      // supersteps, bounded by the decayed high-water mark (the swap hands
+      // the previous incoming allocation to the outgoing side, so trimming
+      // here bounds both directions).
       out.SwapBytes(incoming_[index]);
-      out.Clear();
+      out.Recycle(channel_high_water_[index]);
     }
   }
+  pool_peak_bytes_ = std::max(pool_peak_bytes_, PoolCapacityBytes());
   last_total_bytes_ = total;
   last_max_worker_bytes_ = 0;
   for (int w = 0; w < num_workers_; ++w) {

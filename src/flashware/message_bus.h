@@ -85,6 +85,20 @@ class MessageBus {
   uint64_t TotalBytes() const { return total_bytes_; }
   uint64_t TotalMessages() const { return total_messages_; }
 
+  /// Capacity currently retained across every channel buffer (outgoing and
+  /// incoming sides). Exchange() applies the pooled high-water-mark trim
+  /// (RecyclePooled), so this decays within a few quiet supersteps after a
+  /// traffic spike instead of staying at the all-time peak.
+  uint64_t PoolCapacityBytes() const {
+    uint64_t capacity = 0;
+    for (const BufferWriter& out : outgoing_) capacity += out.capacity();
+    for (const std::vector<uint8_t>& in : incoming_) capacity += in.capacity();
+    return capacity;
+  }
+
+  /// Largest PoolCapacityBytes() observed at the end of any Exchange().
+  uint64_t PoolPeakBytes() const { return pool_peak_bytes_; }
+
  private:
   size_t Index(int src, int dst) const {
     FLASH_DCHECK(src >= 0 && src < num_workers_);
@@ -103,6 +117,11 @@ class MessageBus {
   uint64_t total_messages_ = 0;
   std::vector<uint64_t> sent_scratch_;
   std::vector<uint64_t> recv_scratch_;
+  // Decayed per-channel usage marks driving the capacity trim; the swap in
+  // Exchange() migrates the larger allocation to the outgoing side, so
+  // trimming outgoing buffers bounds both directions over time.
+  std::vector<size_t> channel_high_water_;
+  uint64_t pool_peak_bytes_ = 0;
   FaultInjector* injector_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   uint64_t exchange_epoch_ = 0;  // Keys the counter-based fault PRNG.

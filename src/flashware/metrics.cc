@@ -43,7 +43,9 @@ std::string Metrics::ToString() const {
   out << "supersteps=" << supersteps << " edges=" << edges_scanned
       << " verts=" << vertices_updated << " msgs=" << messages
       << " bytes=" << bytes << " dense=" << dense_steps
-      << " sparse=" << sparse_steps << " wall=" << TotalSeconds() << "s"
+      << " sparse=" << sparse_steps << " committed=" << masters_committed
+      << " pool_peak=" << wire_pool_peak_bytes
+      << " wall=" << TotalSeconds() << "s"
       << " (compute=" << compute_seconds << " comm=" << comm_seconds
       << " ser=" << serialize_seconds << " other=" << other_seconds << ")";
   if (fault.Any()) out << " fault[" << fault.ToString() << "]";

@@ -100,6 +100,13 @@ struct Metrics {
   uint64_t bytes = 0;
   uint64_t dense_steps = 0;
   uint64_t sparse_steps = 0;
+  /// Masters promoted next -> current at commit barriers. Each is serialised
+  /// exactly once per superstep (the serialize-once fan-out invariant).
+  uint64_t masters_committed = 0;
+  /// Peak bytes of capacity retained across all pooled wire buffers —
+  /// message-bus channels, sparse/commit lanes, receive scratch — sampled at
+  /// each barrier. Bounds the memory the pooling policy holds back.
+  uint64_t wire_pool_peak_bytes = 0;
 
   /// Wall-clock breakdown of the simulation (paper §V-E categories).
   double compute_seconds = 0;

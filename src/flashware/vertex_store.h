@@ -1,6 +1,7 @@
 #ifndef FLASH_FLASHWARE_VERTEX_STORE_H_
 #define FLASH_FLASHWARE_VERTEX_STORE_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/fields.h"
@@ -63,6 +64,14 @@ class VertexStore {
   }
 
   const std::vector<VertexId>& dirty_list() const { return dirty_list_; }
+
+  /// Orders the pending dirty list by vertex id, making the commit batch —
+  /// and the mirror-sync wire frames built from it — strictly ascending, the
+  /// densest form of the delta-encoded wire format. Safe to call before
+  /// Commit: dirty masters are disjoint per-vertex promotions, and the
+  /// frontier lists were fixed during the compute phase, so commit order is
+  /// unobservable beyond the wire layout.
+  void SortDirtyForCommit() { std::sort(dirty_list_.begin(), dirty_list_.end()); }
 
   /// Barrier half 1: promotes next -> current for every dirty master and
   /// invokes fn(v, value) so the caller can serialise the update for

@@ -95,6 +95,11 @@ Registry BuildRegistry(const flash::Metrics& metrics,
               "Vertex-level messages shipped over the bus");
   reg.Counter("flash_wire_bytes_total", metrics.bytes,
               "Serialised payload bytes shipped over the bus");
+  reg.Counter("flash_masters_committed_total", metrics.masters_committed,
+              "Masters promoted next -> current at commit barriers");
+  reg.Gauge("flash_wire_pool_peak_bytes",
+            static_cast<double>(metrics.wire_pool_peak_bytes),
+            "Peak capacity retained across pooled wire buffers");
   // Wall-clock breakdown (cumulative seconds; float counters).
   reg.CounterF("flash_compute_seconds_total", metrics.compute_seconds,
                "Simulation seconds in compute phases");
