@@ -17,7 +17,8 @@
 namespace flash::bench {
 namespace {
 
-void PrintRow(const char* name, uint64_t bytes_on, uint64_t bytes_off,
+void PrintRow(BenchReport& report, const char* graph, const char* ablation,
+              const char* name, uint64_t bytes_on, uint64_t bytes_off,
               uint64_t msgs_on, uint64_t msgs_off) {
   std::printf("%-28s %12llu %12llu %7.2fx %12llu %12llu %7.2fx\n", name,
               static_cast<unsigned long long>(bytes_on),
@@ -26,6 +27,11 @@ void PrintRow(const char* name, uint64_t bytes_on, uint64_t bytes_off,
               static_cast<unsigned long long>(msgs_on),
               static_cast<unsigned long long>(msgs_off),
               msgs_on > 0 ? static_cast<double>(msgs_off) / msgs_on : 0.0);
+  report.Add(graph, {{"ablation", ablation}, {"workload", name}},
+             {{"bytes_on", static_cast<double>(bytes_on)},
+              {"bytes_off", static_cast<double>(bytes_off)},
+              {"msgs_on", static_cast<double>(msgs_on)},
+              {"msgs_off", static_cast<double>(msgs_off)}});
 }
 
 int Main() {
@@ -33,6 +39,7 @@ int Main() {
               BenchScale(), BenchWorkers());
   const GraphPtr& or_graph = LoadDataset("OR").graph;
   const GraphPtr& us_graph = LoadDataset("US").graph;
+  BenchReport report("ablation_optimizations");
 
   RuntimeOptions on;
   on.num_workers = BenchWorkers();
@@ -47,13 +54,13 @@ int Main() {
     auto a = algo::RunCcOpt(us_graph, on);
     auto b = algo::RunCcOpt(us_graph, off);
     FLASH_CHECK(a.label == b.label) << "critical-only sync changed results";
-    PrintRow("CC-opt on US", a.metrics.bytes, b.metrics.bytes,
-             a.metrics.messages, b.metrics.messages);
+    PrintRow(report, "US", "critical_only", "CC-opt on US", a.metrics.bytes,
+             b.metrics.bytes, a.metrics.messages, b.metrics.messages);
     auto c = algo::RunKCoreOpt(or_graph, on);
     auto d = algo::RunKCoreOpt(or_graph, off);
     FLASH_CHECK(c.core == d.core) << "critical-only sync changed results";
-    PrintRow("KC-opt on OR", c.metrics.bytes, d.metrics.bytes,
-             c.metrics.messages, d.metrics.messages);
+    PrintRow(report, "OR", "critical_only", "KC-opt on OR", c.metrics.bytes,
+             d.metrics.bytes, c.metrics.messages, d.metrics.messages);
   }
 
   // --- 2. necessary mirrors only ------------------------------------------
@@ -66,13 +73,14 @@ int Main() {
     auto a = algo::RunBfs(or_graph, 0, on);
     auto b = algo::RunBfs(or_graph, 0, off);
     FLASH_CHECK(a.distance == b.distance) << "mirror masking changed results";
-    PrintRow("BFS on OR", a.metrics.bytes, b.metrics.bytes, a.metrics.messages,
-             b.metrics.messages);
+    PrintRow(report, "OR", "necessary_mirrors", "BFS on OR", a.metrics.bytes,
+             b.metrics.bytes, a.metrics.messages, b.metrics.messages);
     auto c = algo::RunCcBasic(us_graph, on);
     auto d = algo::RunCcBasic(us_graph, off);
     FLASH_CHECK(c.label == d.label) << "mirror masking changed results";
-    PrintRow("CC-basic on US", c.metrics.bytes, d.metrics.bytes,
-             c.metrics.messages, d.metrics.messages);
+    PrintRow(report, "US", "necessary_mirrors", "CC-basic on US",
+             c.metrics.bytes, d.metrics.bytes, c.metrics.messages,
+             d.metrics.messages);
   }
 
   // --- 3. overlap communication with computation ---------------------------
@@ -90,12 +98,17 @@ int Main() {
     std::printf("BC on OR: overlapped=%ss, serialised=%ss (%.2fx)\n",
                 FormatSeconds(t_overlap).c_str(),
                 FormatSeconds(t_serial).c_str(), t_serial / t_overlap);
+    report.Add("OR", {{"ablation", "overlap"}, {"workload", "BC on OR"}},
+               {{"modeled_overlap", t_overlap}, {"modeled_serial", t_serial}});
     auto cc = algo::RunCcBasic(us_graph, on);
     t_overlap = ModelTime(cc.metrics, overlap).total;
     t_serial = ModelTime(cc.metrics, serial).total;
     std::printf("CC-basic on US: overlapped=%ss, serialised=%ss (%.2fx)\n",
                 FormatSeconds(t_overlap).c_str(),
                 FormatSeconds(t_serial).c_str(), t_serial / t_overlap);
+    report.Add("US",
+               {{"ablation", "overlap"}, {"workload", "CC-basic on US"}},
+               {{"modeled_overlap", t_overlap}, {"modeled_serial", t_serial}});
   }
   // --- 4. partitioning scheme (design-choice ablation, DESIGN.md) ----------
   std::printf("\n[4] partition scheme: hash vs chunk (cut edges, mirrors, "
@@ -114,6 +127,13 @@ int Main() {
                     static_cast<unsigned long long>(part.CutEdges(*g)),
                     static_cast<unsigned long long>(part.TotalMirrors()),
                     static_cast<unsigned long long>(bfs.metrics.bytes));
+        report.Add(abbr,
+                   {{"ablation", "partition"},
+                    {"scheme", scheme == PartitionScheme::kHash ? "hash"
+                                                                : "chunk"}},
+                   {{"cut_edges", static_cast<double>(part.CutEdges(*g))},
+                    {"mirrors", static_cast<double>(part.TotalMirrors())},
+                    {"bfs_bytes", static_cast<double>(bfs.metrics.bytes)}});
       }
     }
     std::printf("(expected: chunk wins on spatially local road networks, "
@@ -122,6 +142,7 @@ int Main() {
 
   std::printf("\nAll ablations verified result-identical with optimizations "
               "on and off.\n");
+  report.Write();
   return 0;
 }
 

@@ -1,0 +1,165 @@
+// Async vs BSP: the barrier-tax experiment. Runs the four async-capable
+// algorithms (BFS, SSSP, CC, push-PPR) on both execution backends over the
+// two extreme topologies — the deterministic high-diameter road grid
+// (MakeRoadGrid: BSP pays one barrier per hop level) and the low-diameter
+// RMAT social twin (TW), where BSP's dense supersteps are already close to
+// optimal. Reports per cell:
+//
+//   barriers  = supersteps + async token sweeps (BSP: just supersteps; the
+//               async engine's relaxed rounds are NOT barriers and count 0)
+//   modelled  = cost-model time on the paper's cluster (BenchWorkers()
+//               nodes), which prices barriers, relaxed syncs and sweeps
+//               separately — see ClusterConfig in flashware/cost_model.h
+//   wall      = one-host simulation wall-clock
+//
+// The headline check (printed at the end): on the road grid, async must cut
+// barrier count by >= 2x AND win on modelled time for BFS and SSSP.
+//
+// Emits out/BENCH_async_vs_bsp.json (shared flash-bench-v1 schema).
+// Knobs: FLASH_BENCH_SCALE (scales grid diameter and twin sizes),
+// FLASH_BENCH_WORKERS (simulated workers = modelled cluster nodes).
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "bench/harness/harness.h"
+#include "common/logging.h"
+
+namespace {
+
+using flash::ExecutionMode;
+using flash::GraphPtr;
+using flash::Metrics;
+using flash::RuntimeOptions;
+
+constexpr uint32_t kGridDiameter = 512;  // Pre-scale target diameter.
+
+struct App {
+  std::string name;
+  bool weighted;
+  std::function<Metrics(const GraphPtr&, const RuntimeOptions&)> run;
+};
+
+uint64_t Barriers(const Metrics& metrics) {
+  // Each superstep ends in a global barrier (for async runs that is the init
+  // VertexMaps plus the single final mirror sync). A token sweep is a global
+  // synchronizing round-trip too, so it bills as a barrier; relaxed async
+  // rounds do not.
+  return metrics.supersteps + metrics.async.token_sweeps;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<App> apps = {
+      {"bfs", false,
+       [](const GraphPtr& g, const RuntimeOptions& o) {
+         return flash::algo::RunBfs(g, 0, o).metrics;
+       }},
+      {"sssp", true,
+       [](const GraphPtr& g, const RuntimeOptions& o) {
+         return flash::algo::RunSssp(g, 0, o).metrics;
+       }},
+      {"cc", false,
+       [](const GraphPtr& g, const RuntimeOptions& o) {
+         return flash::algo::RunCcBasic(g, o).metrics;
+       }},
+      {"ppr", false,
+       [](const GraphPtr& g, const RuntimeOptions& o) {
+         return flash::algo::RunPprPush(g, 0, 0.15, 1e-6, o).metrics;
+       }},
+  };
+  const std::vector<std::pair<std::string, bool>> graphs = {
+      {"road-grid", true}, {"rmat-TW", false}};
+
+  flash::bench::ResultTable table("Async vs BSP (wall seconds)",
+                                  {"road-grid", "rmat-TW"});
+  flash::bench::BenchReport report("async_vs_bsp");
+
+  // (app, graph) -> {bsp, async} barrier count and modelled seconds.
+  std::map<std::string, std::map<std::string, uint64_t>> barriers;
+  std::map<std::string, std::map<std::string, double>> modelled;
+
+  for (const App& app : apps) {
+    for (const auto& [graph_name, is_grid] : graphs) {
+      const flash::DatasetInfo& info =
+          is_grid ? flash::bench::LoadRoadGrid(kGridDiameter, app.weighted)
+                  : flash::bench::LoadDataset("TW", app.weighted);
+      for (ExecutionMode mode : {ExecutionMode::kBsp, ExecutionMode::kAsync}) {
+        RuntimeOptions options;
+        options.num_workers = flash::bench::BenchWorkers();
+        options.execution_mode = mode;
+        flash::bench::Cell cell = flash::bench::TimeCell(
+            [&] { return app.run(info.graph, options); });
+        flash::bench::PriceCell(cell);
+        const bool is_async = mode == ExecutionMode::kAsync;
+        const std::string mode_name = is_async ? "async" : "bsp";
+        const std::string key = app.name + "/" + graph_name;
+        barriers[key][mode_name] = Barriers(cell.metrics);
+        modelled[key][mode_name] = cell.modeled.value_or(0);
+
+        report.Add(info.name,
+                   {{"app", app.name},
+                    {"mode", mode_name},
+                    {"graph", graph_name}},
+                   {{"seconds", cell.seconds.value_or(0)},
+                    {"modeled", cell.modeled.value_or(0)},
+                    {"barriers", static_cast<double>(Barriers(cell.metrics))},
+                    {"supersteps", static_cast<double>(cell.metrics.supersteps)},
+                    {"rounds", static_cast<double>(cell.metrics.async.rounds)},
+                    {"token_sweeps",
+                     static_cast<double>(cell.metrics.async.token_sweeps)},
+                    {"msgs_sent",
+                     static_cast<double>(cell.metrics.async.msgs_sent)},
+                    {"messages",
+                     static_cast<double>(cell.metrics.messages)}});
+        table.Set(app.name + "/" + mode_name, graph_name, std::move(cell));
+      }
+    }
+  }
+
+  table.Print();
+  table.WriteCsv(flash::bench::OutPath("async_vs_bsp.csv"));
+  const std::string report_path = report.Write();
+
+  std::printf("\n=== Barrier tax (barriers: BSP -> async; modelled cluster "
+              "seconds: BSP -> async) ===\n");
+  bool pass = true;
+  for (const App& app : apps) {
+    for (const auto& [graph_name, is_grid] : graphs) {
+      const std::string key = app.name + "/" + graph_name;
+      const uint64_t bsp_barriers = barriers[key]["bsp"];
+      const uint64_t async_barriers = barriers[key]["async"];
+      const double bsp_modelled = modelled[key]["bsp"];
+      const double async_modelled = modelled[key]["async"];
+      const double barrier_ratio =
+          async_barriers > 0
+              ? static_cast<double>(bsp_barriers) / async_barriers
+              : 0.0;
+      const double time_ratio =
+          async_modelled > 0 ? bsp_modelled / async_modelled : 0.0;
+      // Acceptance: >= 2x fewer barriers and a modelled-time win for BFS
+      // and SSSP on the high-diameter road grid.
+      const bool checked =
+          is_grid && (app.name == "bfs" || app.name == "sssp");
+      const bool ok = barrier_ratio >= 2.0 && time_ratio > 1.0;
+      if (checked && !ok) pass = false;
+      std::printf(
+          "  %-16s barriers %6llu -> %4llu (%6.1fx)   modelled %9.6fs -> "
+          "%9.6fs (%5.2fx)%s\n",
+          key.c_str(), static_cast<unsigned long long>(bsp_barriers),
+          static_cast<unsigned long long>(async_barriers), barrier_ratio,
+          bsp_modelled, async_modelled, time_ratio,
+          checked ? (ok ? "  [PASS]" : "  [FAIL]") : "");
+    }
+  }
+  std::printf("%s: road-grid BFS+SSSP barrier cut >= 2x with modelled-time "
+              "win\n",
+              pass ? "PASS" : "FAIL");
+  std::fprintf(stderr, "wrote %s\n", report_path.c_str());
+  return pass ? 0 : 1;
+}

@@ -47,33 +47,30 @@ struct Config {
   flash::FaultPlan plan;
 };
 
-void EmitRun(FILE* out, const char* algo, const flash::Metrics& metrics,
-             uint64_t baseline_bytes, const flash::ClusterConfig& cluster,
-             bool last) {
+void EmitRun(flash::bench::BenchReport& report, const std::string& graph_name,
+             const std::string& plan_name, const char* algo,
+             const flash::Metrics& metrics, uint64_t baseline_bytes,
+             const flash::ClusterConfig& cluster) {
   const flash::FaultStats& fault = metrics.fault;
   flash::ModeledTime time = flash::ModelTime(metrics, cluster);
   double amplification =
       baseline_bytes > 0
           ? static_cast<double>(metrics.bytes) / baseline_bytes
           : 1.0;
-  std::fprintf(
-      out,
-      "        \"%s\": {\"bytes\": %llu, \"wire_amplification\": %.4f, "
-      "\"retries\": %llu, \"drops\": %llu, \"duplicates\": %llu, "
-      "\"escalations\": %llu, \"checkpoints\": %llu, "
-      "\"checkpoint_bytes\": %llu, \"restores\": %llu, "
-      "\"replayed_records\": %llu, \"modeled_total_s\": %.6f, "
-      "\"modeled_recovery_s\": %.6f}%s\n",
-      algo, static_cast<unsigned long long>(metrics.bytes), amplification,
-      static_cast<unsigned long long>(fault.retries),
-      static_cast<unsigned long long>(fault.drops),
-      static_cast<unsigned long long>(fault.duplicates),
-      static_cast<unsigned long long>(fault.escalations),
-      static_cast<unsigned long long>(fault.checkpoints),
-      static_cast<unsigned long long>(fault.checkpoint_bytes),
-      static_cast<unsigned long long>(fault.restores),
-      static_cast<unsigned long long>(fault.replayed_records), time.total,
-      time.recovery, last ? "" : ",");
+  report.Add(graph_name, {{"plan", plan_name}, {"app", algo}},
+             {{"bytes", static_cast<double>(metrics.bytes)},
+              {"wire_amplification", amplification},
+              {"retries", static_cast<double>(fault.retries)},
+              {"drops", static_cast<double>(fault.drops)},
+              {"duplicates", static_cast<double>(fault.duplicates)},
+              {"escalations", static_cast<double>(fault.escalations)},
+              {"checkpoints", static_cast<double>(fault.checkpoints)},
+              {"checkpoint_bytes", static_cast<double>(fault.checkpoint_bytes)},
+              {"restores", static_cast<double>(fault.restores)},
+              {"replayed_records",
+               static_cast<double>(fault.replayed_records)},
+              {"modeled_total_s", time.total},
+              {"modeled_recovery_s", time.recovery}});
 }
 
 }  // namespace
@@ -139,17 +136,8 @@ int main() {
   flash::ClusterConfig cluster;
   cluster.nodes = base.num_workers;
 
-  const std::string out_path =
-      flash::bench::OutPath("BENCH_fault_recovery.json");
-  FILE* out = std::fopen(out_path.c_str(), "w");
-  FLASH_CHECK(out != nullptr);
-  std::fprintf(out,
-               "{\n  \"bench\": \"fault_recovery\",\n"
-               "  \"rmat_scale\": %d,\n  \"vertices\": %u,\n"
-               "  \"edges\": %llu,\n  \"workers\": %d,\n  \"configs\": [\n",
-               scale, graph->NumVertices(),
-               static_cast<unsigned long long>(graph->NumEdges()),
-               base.num_workers);
+  flash::bench::BenchReport report("fault_recovery");
+  const std::string graph_name = "rmat-s" + std::to_string(scale);
 
   for (size_t i = 0; i < configs.size(); ++i) {
     const Config& config = configs[i];
@@ -161,13 +149,10 @@ int main() {
         << "fault plan changed the BFS result";
     FLASH_CHECK(pr.rank == pr_clean.rank)
         << "fault plan changed the PageRank result";
-    std::fprintf(out, "    {\n      \"name\": \"%s\",\n      \"runs\": {\n",
-                 config.name.c_str());
-    EmitRun(out, "bfs", bfs.metrics, bfs_clean.metrics.bytes, cluster, false);
-    EmitRun(out, "pagerank", pr.metrics, pr_clean.metrics.bytes, cluster,
-            true);
-    std::fprintf(out, "      }\n    }%s\n",
-                 i + 1 < configs.size() ? "," : "");
+    EmitRun(report, graph_name, config.name, "bfs", bfs.metrics,
+            bfs_clean.metrics.bytes, cluster);
+    EmitRun(report, graph_name, config.name, "pagerank", pr.metrics,
+            pr_clean.metrics.bytes, cluster);
     std::fprintf(stderr,
                  "%-8s bfs x%.2f wire, %llu retries, %llu restores | "
                  "pagerank x%.2f wire, recovery %.4fs\n",
@@ -184,8 +169,6 @@ int main() {
                      : 1.0,
                  flash::ModelTime(pr.metrics, cluster).recovery);
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  std::fprintf(stderr, "wrote %s\n", report.Write().c_str());
   return 0;
 }

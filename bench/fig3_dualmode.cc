@@ -44,6 +44,9 @@ int Main() {
   table.Print();
   std::printf("\n(cell note = dense/sparse EDGEMAP supersteps chosen)\n");
   table.WriteCsv(flash::bench::OutPath("fig3_dualmode.csv"));
+  BenchReport report("fig3_dualmode");
+  report.AddTable(table);
+  report.Write();
   return 0;
 }
 

@@ -58,6 +58,19 @@ int Main() {
               s_opt > 0 ? s_basic / s_opt : 0.0);
   std::printf("\n(the paper reports a 70.1x speedup on the full-size TW; the "
               "frontier-collapse shape is the reproduced claim)\n");
+  BenchReport report("fig4a_mm_frontier");
+  report.Add("TW", {{"variant", "mm_basic"}},
+             {{"seconds", s_basic},
+              {"rounds", static_cast<double>(basic.active_per_round.size())},
+              {"edges_scanned",
+               static_cast<double>(basic.metrics.edges_scanned)},
+              {"total_active", static_cast<double>(total_basic)}});
+  report.Add("TW", {{"variant", "mm_opt"}},
+             {{"seconds", s_opt},
+              {"rounds", static_cast<double>(opt.active_per_round.size())},
+              {"edges_scanned", static_cast<double>(opt.metrics.edges_scanned)},
+              {"total_active", static_cast<double>(total_opt)}});
+  report.Write();
   return 0;
 }
 

@@ -36,6 +36,7 @@ Metrics RunCl(const GraphPtr& graph, int workers) {
 
 int Main() {
   ClusterConfig base = CalibrateComputeRate();
+  BenchReport report("fig4bcd_scaling");
   std::printf("Fig. 4(b)(c)(d) reproduction (scale=%.3g). Cost model "
               "calibrated on this host: %.2f ns/edge.\n\n",
               BenchScale(), base.ns_per_edge);
@@ -52,6 +53,9 @@ int Main() {
     config.cores_per_node = cores;
     double t = ModelTime(tc4, config).total;
     if (cores == 1) t1 = t;
+    report.Add("TW", {{"figure", "4b"}, {"app", "tc"}},
+               {{"cores", static_cast<double>(cores)}, {"nodes", 4},
+                {"modeled", t}, {"speedup", t1 / t}});
     std::printf("%8d %13ss %9.1fx\n", cores, FormatSeconds(t).c_str(),
                 t1 / t);
   }
@@ -69,6 +73,9 @@ int Main() {
     config.cores_per_node = 32;
     double t = ModelTime(m, config).total;
     if (nodes == 1) tc_t1 = t;
+    report.Add("TW", {{"figure", "4c"}, {"app", "tc"}},
+               {{"cores", 32}, {"nodes", static_cast<double>(nodes)},
+                {"modeled", t}, {"speedup", tc_t1 / t}});
     std::printf("%8d %13ss %9.1fx\n", nodes, FormatSeconds(t).c_str(),
                 tc_t1 / t);
   }
@@ -85,6 +92,9 @@ int Main() {
     config.cores_per_node = 32;
     double t = ModelTime(m, config).total;
     if (nodes == 1) cl_t1 = t;
+    report.Add("UK", {{"figure", "4d"}, {"app", "cl"}},
+               {{"cores", 32}, {"nodes", static_cast<double>(nodes)},
+                {"modeled", t}, {"speedup", cl_t1 / t}});
     std::printf("%8d %13ss %9.1fx\n", nodes, FormatSeconds(t).c_str(),
                 cl_t1 / t);
   }
@@ -104,6 +114,7 @@ int Main() {
   }
   std::printf("\n(expected: compute share falls, communication/serialisation "
               "share grows with the cluster size — paper SV-E)\n");
+  report.Write();
   return 0;
 }
 

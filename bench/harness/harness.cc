@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "flashware/cost_model.h"
+#include "graph/generators.h"
 
 namespace flash::bench {
 
@@ -46,6 +47,29 @@ const DatasetInfo& LoadDataset(const std::string& abbr, bool weighted,
     auto info = MakeDataset(abbr, BenchScale(), weighted, directed);
     FLASH_CHECK(info.ok()) << info.status().ToString();
     it = cache.emplace(key, std::move(info).value()).first;
+  }
+  return it->second;
+}
+
+const DatasetInfo& LoadRoadGrid(uint32_t target_diameter, bool weighted) {
+  static std::map<std::string, DatasetInfo>& cache =
+      *new std::map<std::string, DatasetInfo>();
+  std::string key =
+      "grid" + std::to_string(target_diameter) + (weighted ? "+w" : "");
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    RoadGridOptions opt;
+    opt.target_diameter = std::max<uint32_t>(
+        16, static_cast<uint32_t>(target_diameter * std::sqrt(BenchScale())));
+    opt.weighted = weighted;
+    auto graph = MakeRoadGrid(opt);
+    FLASH_CHECK(graph.ok()) << graph.status().ToString();
+    DatasetInfo info;
+    info.abbr = "GRID";
+    info.name = "road-grid-testbed-d" + std::to_string(opt.target_diameter);
+    info.domain = "RN";
+    info.graph = std::move(graph).value();
+    it = cache.emplace(key, std::move(info)).first;
   }
   return it->second;
 }
@@ -154,6 +178,100 @@ void ResultTable::WriteCsv(const std::string& path) const {
     }
     out << "\n";
   }
+}
+
+namespace {
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  // %.9g round-trips the metrics we record (counters and seconds) without
+  // printing float noise for integral counters.
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::Add(const std::string& graph,
+                      std::map<std::string, std::string> config,
+                      std::map<std::string, double> metrics) {
+  records_.push_back(
+      Record{graph, std::move(config), std::move(metrics)});
+}
+
+void BenchReport::AddTable(const ResultTable& table,
+                           std::map<std::string, std::string> config) {
+  for (const auto& row : table.rows()) {
+    for (const auto& col : table.columns()) {
+      const Cell* cell = table.Get(row, col);
+      if (cell == nullptr || !cell->supported || !cell->seconds.has_value()) {
+        continue;
+      }
+      std::map<std::string, std::string> record_config = config;
+      record_config["row"] = row;
+      record_config["table"] = table.title();
+      std::map<std::string, double> metrics;
+      metrics["seconds"] = *cell->seconds;
+      if (cell->modeled.has_value()) metrics["modeled"] = *cell->modeled;
+      Add(col, std::move(record_config), std::move(metrics));
+    }
+  }
+}
+
+std::string BenchReport::Write() const {
+  const std::string path = OutPath("BENCH_" + name_ + ".json");
+  std::ofstream out(path);
+  if (!out) return path;
+  out << "{\n  \"schema\": \"flash-bench-v1\",\n"
+      << "  \"name\": \"" << JsonEscape(name_) << "\",\n"
+      << "  \"scale\": " << JsonNumber(BenchScale()) << ",\n"
+      << "  \"workers\": " << BenchWorkers() << ",\n"
+      << "  \"records\": [";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& record = records_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"graph\": \"" << JsonEscape(record.graph)
+        << "\", \"config\": {";
+    bool first = true;
+    for (const auto& [key, value] : record.config) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\": \"" << JsonEscape(value) << "\"";
+    }
+    out << "}, \"metrics\": {";
+    first = true;
+    for (const auto& [key, value] : record.metrics) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\": " << JsonNumber(value);
+    }
+    out << "}}";
+  }
+  out << "\n  ]\n}\n";
+  return path;
 }
 
 void PrintSlowdownHeatmap(

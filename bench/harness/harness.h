@@ -34,6 +34,13 @@ std::string OutPath(const std::string& filename);
 const DatasetInfo& LoadDataset(const std::string& abbr, bool weighted = false,
                                bool directed = false);
 
+/// Loads (and caches) the deterministic road-grid testbed
+/// (MakeRoadGrid, generators.h) with its diameter scaled by
+/// sqrt(BenchScale()) like the road twins. The high-diameter worst case
+/// the async benchmarks contrast against RMAT.
+const DatasetInfo& LoadRoadGrid(uint32_t target_diameter,
+                                bool weighted = false);
+
 /// One table cell: a timed run, an unsupported marker, or a failure.
 struct Cell {
   std::optional<double> seconds;  // Wall-clock of the simulation.
@@ -72,12 +79,49 @@ class ResultTable {
 
   const std::vector<std::string>& rows() const { return row_order_; }
   const std::vector<std::string>& columns() const { return columns_; }
+  const std::string& title() const { return title_; }
 
  private:
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<std::string> row_order_;
   std::map<std::string, std::map<std::string, Cell>> cells_;
+};
+
+/// Machine-readable bench artifact with the shared schema every bench
+/// binary emits ("flash-bench-v1"): a bench `name` plus a flat list of
+/// records, each `{graph, config: {string: string}, metrics: {string:
+/// number}}`. tools/collect_bench.py aggregates all out/BENCH_*.json files
+/// written through this into out/BENCH_summary.json, so new benches get
+/// picked up by CI without collector changes.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Appends one record. `graph` names the dataset (or "-" when the record
+  /// is not graph-specific); `config` identifies the run point; `metrics`
+  /// carries the measured numbers.
+  void Add(const std::string& graph,
+           std::map<std::string, std::string> config,
+           std::map<std::string, double> metrics);
+
+  /// Appends every populated cell of `table`: graph = column, config =
+  /// {"row": row, "table": title} merged with `config`, metrics =
+  /// {"seconds"[, "modeled"]}.
+  void AddTable(const ResultTable& table,
+                std::map<std::string, std::string> config = {});
+
+  /// Writes out/BENCH_<name>.json (shared schema) and returns the path.
+  std::string Write() const;
+
+ private:
+  struct Record {
+    std::string graph;
+    std::map<std::string, std::string> config;
+    std::map<std::string, double> metrics;
+  };
+  std::string name_;
+  std::vector<Record> records_;
 };
 
 /// Fig. 1: for each (app, dataset) the slowdown of every framework against

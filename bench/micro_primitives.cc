@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness/harness.h"
 #include "core/api.h"
 #include "graph/generators.h"
 
@@ -147,7 +148,43 @@ void BM_FieldSerialization(benchmark::State& state) {
 }
 BENCHMARK(BM_FieldSerialization);
 
+/// Console output plus the shared flash-bench-v1 artifact: every benchmark
+/// run lands in out/BENCH_micro_primitives.json like the macro benches, so
+/// tools/collect_bench.py aggregates the micro numbers too.
+class ReportingConsole : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsole(bench::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::map<std::string, double> metrics;
+      metrics["real_time_ns"] = run.GetAdjustedRealTime();
+      metrics["cpu_time_ns"] = run.GetAdjustedCPUTime();
+      metrics["iterations"] = static_cast<double>(run.iterations);
+      for (const auto& [counter_name, counter] : run.counters) {
+        metrics[counter_name] = counter.value;
+      }
+      report_->Add("rmat-s14", {{"benchmark", run.benchmark_name()}},
+                   std::move(metrics));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace flash
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  flash::bench::BenchReport report("micro_primitives");
+  flash::ReportingConsole reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.Write();
+  benchmark::Shutdown();
+  return 0;
+}

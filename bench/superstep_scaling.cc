@@ -65,16 +65,19 @@ RunStats Measure(Fn&& run) {
   return stats;
 }
 
-void EmitStats(FILE* out, const char* name, const RunStats& par,
-               const RunStats& seq) {
-  std::fprintf(out,
-               "      \"%s\": {\"seconds\": %.6f, \"supersteps\": %llu, "
-               "\"steps_per_sec\": %.2f, \"seq_seconds\": %.6f, "
-               "\"speedup_vs_sequential\": %.3f}",
-               name, par.seconds,
-               static_cast<unsigned long long>(par.supersteps),
-               par.StepsPerSec(), seq.seconds,
-               par.seconds > 0 ? seq.seconds / par.seconds : 0.0);
+void EmitStats(flash::bench::BenchReport& report,
+               const std::string& graph_name, const char* name, int workers,
+               int threads, const RunStats& par, const RunStats& seq) {
+  report.Add(graph_name,
+             {{"app", name},
+              {"workers", std::to_string(workers)},
+              {"threads_per_worker", std::to_string(threads)}},
+             {{"seconds", par.seconds},
+              {"supersteps", static_cast<double>(par.supersteps)},
+              {"steps_per_sec", par.StepsPerSec()},
+              {"seq_seconds", seq.seconds},
+              {"speedup_vs_sequential",
+               par.seconds > 0 ? seq.seconds / par.seconds : 0.0}});
 }
 
 }  // namespace
@@ -98,20 +101,8 @@ int main() {
                scale, graph->NumVertices(),
                static_cast<unsigned long long>(graph->NumEdges()), host_cpus);
 
-  const std::string out_path =
-      flash::bench::OutPath("BENCH_superstep_scaling.json");
-  FILE* out = std::fopen(out_path.c_str(), "w");
-  FLASH_CHECK(out != nullptr);
-  std::fprintf(out,
-               "{\n  \"bench\": \"superstep_scaling\",\n"
-               "  \"rmat_scale\": %d,\n  \"vertices\": %u,\n"
-               "  \"edges\": %llu,\n  \"pagerank_iters\": %d,\n"
-               "  \"host_cpus\": %d,\n  \"configs\": [\n",
-               scale, graph->NumVertices(),
-               static_cast<unsigned long long>(graph->NumEdges()), pr_iters,
-               host_cpus);
-
-  bool first = true;
+  flash::bench::BenchReport report("superstep_scaling");
+  const std::string graph_name = "rmat-s" + std::to_string(scale);
   for (int nw : worker_counts) {
     for (int tpw : thread_counts) {
       flash::RuntimeOptions par_opts;
@@ -142,19 +133,10 @@ int main() {
                    bfs_par.seconds > 0 ? bfs_seq.seconds / bfs_par.seconds
                                        : 0.0);
 
-      if (!first) std::fprintf(out, ",\n");
-      first = false;
-      std::fprintf(out,
-                   "    {\"workers\": %d, \"threads_per_worker\": %d,\n", nw,
-                   tpw);
-      EmitStats(out, "pagerank", pr_par, pr_seq);
-      std::fprintf(out, ",\n");
-      EmitStats(out, "bfs", bfs_par, bfs_seq);
-      std::fprintf(out, "\n    }");
+      EmitStats(report, graph_name, "pagerank", nw, tpw, pr_par, pr_seq);
+      EmitStats(report, graph_name, "bfs", nw, tpw, bfs_par, bfs_seq);
     }
   }
-  std::fprintf(out, "\n  ]\n}\n");
-  std::fclose(out);
-  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  std::fprintf(stderr, "wrote %s\n", report.Write().c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness/harness.h"
 #include "common/lloc.h"
 #include "common/logging.h"
 
@@ -155,6 +156,16 @@ int Main() {
               "paper-reported (Table I)");
   std::printf("-----------------------------------------------------------"
               "-----------------------------------------------\n");
+  BenchReport report("table1_lloc");
+  auto record = [&report](const std::string& algo, const char* framework,
+                          const std::optional<int>& measured, int paper) {
+    if (!measured.has_value() && paper < 0) return;
+    std::map<std::string, double> metrics;
+    if (measured.has_value()) metrics["lloc"] = *measured;
+    if (paper >= 0) metrics["paper_lloc"] = paper;
+    report.Add("-", {{"algo", algo}, {"framework", framework}},
+               std::move(metrics));
+  };
   double ratio_sum = 0;
   int ratio_count = 0;
   for (const Row& row : Rows()) {
@@ -162,6 +173,11 @@ int Main() {
     auto pregel = Measure(row.pregel);
     auto gas = Measure(row.gas);
     auto gemini = Measure(row.gemini);
+    record(row.name, "pregel", pregel, row.paper[0]);
+    record(row.name, "powergraph", gas, row.paper[1]);
+    record(row.name, "gemini", gemini, row.paper[2]);
+    record(row.name, "ligra", std::nullopt, row.paper[3]);
+    record(row.name, "flash", flash, row.paper[4]);
     std::string ratio = "-";
     if (flash.has_value() && pregel.has_value() && *flash > 0) {
       char buffer[16];
@@ -205,6 +221,7 @@ int Main() {
            {"Betweenness", "src/algorithms/betweenness_sampled.cc"},
            {"K-Truss", "src/algorithms/ktruss.cc"}}) {
     auto lloc = Measure(Source{extra.file, -1});
+    record(extra.name, "flash_extended", lloc, -1);
     std::printf("  %-12s %4s LLoC\n", extra.name, Fmt(lloc).c_str());
   }
 
@@ -222,6 +239,7 @@ int Main() {
                 for (const Row& r : Rows()) n += r.gas.has_value();
                 return n;
               }());
+  report.Write();
   return 0;
 }
 

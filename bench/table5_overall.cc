@@ -259,6 +259,13 @@ int Main() {
   tables.gemini.WriteCsv(flash::bench::OutPath("table5_gemini.csv"));
   tables.ligra.WriteCsv(flash::bench::OutPath("table5_ligra.csv"));
   tables.flash.WriteCsv(flash::bench::OutPath("table5_flash.csv"));
+  BenchReport report("table5_overall");
+  report.AddTable(tables.pregel, {{"framework", "pregel"}});
+  report.AddTable(tables.gas, {{"framework", "powergraph"}});
+  report.AddTable(tables.gemini, {{"framework", "gemini"}});
+  report.AddTable(tables.ligra, {{"framework", "ligra"}});
+  report.AddTable(tables.flash, {{"framework", "flash"}});
+  report.Write();
   std::printf("\nCSV written: out/table5_{pregel,powergraph,gemini,ligra,flash}.csv\n");
   return 0;
 }

@@ -95,6 +95,10 @@ int Main() {
   PrintSlowdownHeatmap({{"Baseline", &baseline}, {"FLASH", &flash}});
   baseline.WriteCsv(flash::bench::OutPath("table6_baseline.csv"));
   flash.WriteCsv(flash::bench::OutPath("table6_flash.csv"));
+  BenchReport report("table6_advanced");
+  report.AddTable(baseline, {{"framework", "baseline"}});
+  report.AddTable(flash, {{"framework", "flash"}});
+  report.Write();
   std::printf("\nCSV written: out/table6_{baseline,flash}.csv\n");
   return 0;
 }

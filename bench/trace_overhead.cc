@@ -126,16 +126,8 @@ int main() {
        }},
   };
 
-  const std::string out_path =
-      flash::bench::OutPath("BENCH_trace_overhead.json");
-  FILE* out = std::fopen(out_path.c_str(), "w");
-  FLASH_CHECK(out != nullptr);
-  std::fprintf(out,
-               "{\n  \"bench\": \"trace_overhead\",\n"
-               "  \"rmat_scale\": %d,\n  \"reps\": %d,\n"
-               "  \"obs_compiled_in\": %s,\n  \"apps\": [\n",
-               scale, reps,
-               flash::obs::Tracer::compiled_in() ? "true" : "false");
+  flash::bench::BenchReport report("trace_overhead");
+  const std::string graph_name = "rmat-s" + std::to_string(scale);
 
   bool all_exact = true;
   for (size_t i = 0; i < apps.size(); ++i) {
@@ -161,20 +153,19 @@ int main() {
                  app.name, off.best_seconds, on.best_seconds, 100 * overhead,
                  static_cast<unsigned long long>(on.spans),
                  exact ? "exact" : "DRIFT");
-    std::fprintf(out,
-                 "    {\"app\": \"%s\", \"seconds_off\": %.6f, "
-                 "\"seconds_on\": %.6f, \"overhead_frac\": %.6f, "
-                 "\"spans\": %llu, \"supersteps\": %llu, "
-                 "\"counters_exact\": %s}%s\n",
-                 app.name, off.best_seconds, on.best_seconds, overhead,
-                 static_cast<unsigned long long>(on.spans),
-                 static_cast<unsigned long long>(on.metrics.supersteps),
-                 exact ? "true" : "false", i + 1 < apps.size() ? "," : "");
+    report.Add(graph_name,
+               {{"app", app.name},
+                {"obs_compiled_in",
+                 flash::obs::Tracer::compiled_in() ? "true" : "false"}},
+               {{"seconds_off", off.best_seconds},
+                {"seconds_on", on.best_seconds},
+                {"overhead_frac", overhead},
+                {"reps", static_cast<double>(reps)},
+                {"spans", static_cast<double>(on.spans)},
+                {"supersteps", static_cast<double>(on.metrics.supersteps)},
+                {"counters_exact", exact ? 1.0 : 0.0}});
   }
-  std::fprintf(out, "  ],\n  \"counters_exact\": %s\n}\n",
-               all_exact ? "true" : "false");
-  std::fclose(out);
-  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  std::fprintf(stderr, "wrote %s\n", report.Write().c_str());
   FLASH_CHECK(all_exact) << "span tracing perturbed exact counters";
   return 0;
 }

@@ -163,9 +163,10 @@ double PerUpdateNs(double seconds, uint64_t updates, int repeats) {
   return total > 0 ? seconds * 1e9 / total : 0;
 }
 
-void EmitAlgo(FILE* out, const char* name, const flash::Metrics& metrics,
-              double modeled_comm_seconds, const FormatCost& cost,
-              int repeats) {
+void EmitAlgo(flash::bench::BenchReport& report,
+              const std::string& graph_name, const char* name,
+              const flash::Metrics& metrics, double modeled_comm_seconds,
+              const FormatCost& cost, int repeats) {
   const double old_bpu =
       cost.updates ? static_cast<double>(cost.old_bytes) / cost.updates : 0;
   const double new_bpu =
@@ -181,33 +182,29 @@ void EmitAlgo(FILE* out, const char* name, const flash::Metrics& metrics,
                PerUpdateNs(cost.encode_new_seconds, cost.updates, repeats),
                PerUpdateNs(cost.decode_old_seconds, cost.updates, repeats),
                PerUpdateNs(cost.decode_new_seconds, cost.updates, repeats));
-  std::fprintf(
-      out,
-      "  \"%s\": {\n"
-      "    \"measured\": {\"messages\": %llu, \"wire_bytes\": %llu, "
-      "\"bytes_per_message\": %.3f, \"modeled_comm_seconds\": %.6f},\n"
-      "    \"mirror_sync_codec\": {\n"
-      "      \"updates\": %llu,\n"
-      "      \"old_bytes\": %llu, \"new_bytes\": %llu,\n"
-      "      \"bytes_per_update_old\": %.3f, \"bytes_per_update_new\": %.3f,\n"
-      "      \"reduction_pct\": %.2f,\n"
-      "      \"encode_ns_per_update_old\": %.2f, "
-      "\"encode_ns_per_update_new\": %.2f,\n"
-      "      \"decode_ns_per_update_old\": %.2f, "
-      "\"decode_ns_per_update_new\": %.2f\n"
-      "    }\n"
-      "  }",
-      name, static_cast<unsigned long long>(metrics.messages),
-      static_cast<unsigned long long>(metrics.bytes),
-      metrics.messages ? static_cast<double>(metrics.bytes) / metrics.messages
-                       : 0.0,
-      modeled_comm_seconds, static_cast<unsigned long long>(cost.updates),
-      static_cast<unsigned long long>(cost.old_bytes),
-      static_cast<unsigned long long>(cost.new_bytes), old_bpu, new_bpu,
-      reduction, PerUpdateNs(cost.encode_old_seconds, cost.updates, repeats),
-      PerUpdateNs(cost.encode_new_seconds, cost.updates, repeats),
-      PerUpdateNs(cost.decode_old_seconds, cost.updates, repeats),
-      PerUpdateNs(cost.decode_new_seconds, cost.updates, repeats));
+  report.Add(
+      graph_name, {{"app", name}},
+      {{"messages", static_cast<double>(metrics.messages)},
+       {"wire_bytes", static_cast<double>(metrics.bytes)},
+       {"bytes_per_message",
+        metrics.messages
+            ? static_cast<double>(metrics.bytes) / metrics.messages
+            : 0.0},
+       {"modeled_comm_seconds", modeled_comm_seconds},
+       {"updates", static_cast<double>(cost.updates)},
+       {"old_bytes", static_cast<double>(cost.old_bytes)},
+       {"new_bytes", static_cast<double>(cost.new_bytes)},
+       {"bytes_per_update_old", old_bpu},
+       {"bytes_per_update_new", new_bpu},
+       {"reduction_pct", reduction},
+       {"encode_ns_per_update_old",
+        PerUpdateNs(cost.encode_old_seconds, cost.updates, repeats)},
+       {"encode_ns_per_update_new",
+        PerUpdateNs(cost.encode_new_seconds, cost.updates, repeats)},
+       {"decode_ns_per_update_old",
+        PerUpdateNs(cost.decode_old_seconds, cost.updates, repeats)},
+       {"decode_ns_per_update_new",
+        PerUpdateNs(cost.decode_new_seconds, cost.updates, repeats)}});
 }
 
 }  // namespace
@@ -276,19 +273,12 @@ int main() {
   pr_cost.decode_old_seconds *= pr_iters;
   pr_cost.decode_new_seconds *= pr_iters;
 
-  const std::string out_path = flash::bench::OutPath("BENCH_wire_format.json");
-  FILE* out = std::fopen(out_path.c_str(), "w");
-  FLASH_CHECK(out != nullptr);
-  std::fprintf(out,
-               "{\n  \"bench\": \"wire_format\",\n  \"rmat_scale\": %d,\n"
-               "  \"vertices\": %u,\n  \"edges\": %llu,\n  \"workers\": %d,\n",
-               scale, graph->NumVertices(),
-               static_cast<unsigned long long>(graph->NumEdges()), workers);
-  EmitAlgo(out, "bfs", bfs.metrics, bfs_comm, bfs_cost, repeats);
-  std::fprintf(out, ",\n");
-  EmitAlgo(out, "pagerank", pr.metrics, pr_comm, pr_cost, repeats);
-  std::fprintf(out, "\n}\n");
-  std::fclose(out);
-  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  flash::bench::BenchReport report("wire_format");
+  const std::string graph_name = "rmat-s" + std::to_string(scale);
+  EmitAlgo(report, graph_name, "bfs", bfs.metrics, bfs_comm, bfs_cost,
+           repeats);
+  EmitAlgo(report, graph_name, "pagerank", pr.metrics, pr_comm, pr_cost,
+           repeats);
+  std::fprintf(stderr, "wrote %s\n", report.Write().c_str());
   return 0;
 }

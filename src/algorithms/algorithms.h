@@ -232,6 +232,19 @@ PageRankResult RunPersonalizedPageRank(const GraphPtr& graph, VertexId seed,
                                        int iterations,
                                        const RuntimeOptions& options = {});
 
+struct PprPushResult {
+  std::vector<double> rank;      // Approximate PPR mass settled per vertex.
+  std::vector<double> residual;  // Unsettled mass (< eps * outdeg each).
+  int rounds = 0;
+  Metrics metrics;
+};
+/// Personalized PageRank by residual push (Andersen-Chung-Lang forward
+/// push): converges when every residual falls below eps * outdeg. Runs on
+/// either execution backend; sum(rank) + sum(residual) == 1 exactly.
+PprPushResult RunPprPush(const GraphPtr& graph, VertexId seed,
+                         double alpha = 0.15, double eps = 1e-8,
+                         const RuntimeOptions& options = {});
+
 struct BetweennessResult {
   std::vector<double> score;  // Sum of dependency scores over the sources.
   Metrics metrics;

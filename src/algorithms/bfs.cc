@@ -14,6 +14,27 @@ struct BfsData {
   uint32_t dis = kInf32;
   FLASH_FIELDS(dis)
 };
+
+/// Async port: level-bucketed (FIFO within a level) min-hop relaxation.
+/// dis folds with idempotent min, so the fixpoint is unique and async runs
+/// are bit-identical to the BSP oracle.
+struct BfsAsyncProgram {
+  struct Message {
+    uint32_t dis;
+  };
+  static constexpr Monotonicity kMonotonicity = Monotonicity::kIdempotent;
+  bool OnDequeue(BfsData&, VertexId) { return true; }
+  bool Gen(const BfsData& s, VertexId, VertexId, float, Message& m) {
+    m.dis = s.dis + 1;
+    return true;
+  }
+  bool Apply(const Message& m, BfsData& d, VertexId) {
+    if (m.dis >= d.dis) return false;
+    d.dis = m.dis;
+    return true;
+  }
+  uint32_t Priority(const BfsData& d, VertexId) const { return d.dis; }
+};
 }  // namespace
 
 BfsResult RunBfs(const GraphPtr& graph, VertexId root,
@@ -28,10 +49,16 @@ BfsResult RunBfs(const GraphPtr& graph, VertexId root,
   auto reduce = [](const BfsData& t, BfsData& d) { d = t; };
 
   fl.VertexMap(fl.V(), CTrue, init);
-  VertexSubset frontier = fl.VertexMap(fl.V(), filter);
-  while (fl.Size(frontier) != 0) {
-    frontier = fl.EdgeMap(frontier, fl.E(), CTrue, update, cond, reduce);
-    ++result.rounds;
+  if (options.execution_mode == ExecutionMode::kAsync) {
+    BfsAsyncProgram program;
+    AsyncRun(fl, program, {root});
+    result.rounds = static_cast<int>(fl.metrics().async.rounds);
+  } else {
+    VertexSubset frontier = fl.VertexMap(fl.V(), filter);
+    while (fl.Size(frontier) != 0) {
+      frontier = fl.EdgeMap(frontier, fl.E(), CTrue, update, cond, reduce);
+      ++result.rounds;
+    }
   }
   // LLOC-END
   result.distance = fl.ExtractResults<uint32_t>(

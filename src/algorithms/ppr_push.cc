@@ -1,0 +1,139 @@
+// Personalized PageRank by residual push (Andersen-Chung-Lang forward
+// push), the local-computation counterpart of the power-iteration PPR in
+// ppr.cc.
+//
+// Every vertex carries (rank, res): pushing a vertex moves alpha*res into
+// its rank and spreads (1-alpha)*res across its out-neighbours' residuals;
+// a vertex is active while res > eps * outdeg. The total mass
+// sum(rank) + sum(res) is invariant, so any push schedule converges to a
+// rank within eps * outdeg of the exact fixpoint per vertex.
+//
+// Two backends share the same drain/spread/threshold arithmetic:
+//  - BSP (the oracle): one VERTEXMAP drains the frontier's residuals, one
+//    forced-push EDGEMAPSPARSE carries each push increment to its target
+//    (the message holds only the increment; the additive reduce folds it
+//    into the owner's residual), one VERTEXMAP re-filters by threshold.
+//  - Async: the drain is OnDequeue, the spread is Gen/Apply, the threshold
+//    is Apply's requeue predicate — a single FIFO bucket, no barriers.
+// Residual accumulation is order-dependent (Monotonicity::kAccumulative):
+// async results are deterministic at any host thread count but eps-bounded,
+// not bit-equal, against the BSP oracle.
+
+#include "algorithms/algorithms.h"
+#include "core/api.h"
+
+namespace flash::algo {
+
+namespace {
+struct PprData {
+  double rank = 0;
+  double res = 0;
+  double push = 0;  // Per-out-edge increment of the current drain.
+  FLASH_FIELDS(rank, res, push)
+};
+
+/// The shared activity threshold: a vertex keeps pushing while its residual
+/// exceeds eps per out-edge; danglings absorb any positive residual.
+bool ActiveResidual(double res, uint32_t outdeg, double eps) {
+  return outdeg == 0 ? res > 0.0 : res > eps * outdeg;
+}
+
+struct PprPushAsyncProgram {
+  struct Message {
+    double add;
+  };
+  static constexpr Monotonicity kMonotonicity = Monotonicity::kAccumulative;
+  const Graph* graph = nullptr;
+  double alpha = 0.15;
+  double eps = 1e-8;
+
+  bool OnDequeue(PprData& s, VertexId u) {
+    const uint32_t deg = graph->OutDegree(u);
+    if (!ActiveResidual(s.res, deg, eps)) return false;
+    if (deg == 0) {
+      s.rank += s.res;
+      s.res = 0;
+      return false;
+    }
+    s.rank += alpha * s.res;
+    s.push = (1.0 - alpha) * s.res / deg;
+    s.res = 0;
+    return true;
+  }
+  bool Gen(const PprData& s, VertexId, VertexId, float, Message& m) {
+    m.add = s.push;
+    return s.push > 0.0;
+  }
+  bool Apply(const Message& m, PprData& d, VertexId v) {
+    d.res += m.add;
+    return ActiveResidual(d.res, graph->OutDegree(v), eps);
+  }
+  uint32_t Priority(const PprData&, VertexId) const { return 0; }
+};
+}  // namespace
+
+PprPushResult RunPprPush(const GraphPtr& graph, VertexId seed, double alpha,
+                         double eps, const RuntimeOptions& options) {
+  GraphApi<PprData> fl(graph, options);
+  // Only the residual crosses workers (push increments on the wire, folded
+  // into owner residuals); rank and push stay master-local.
+  fl.SetCriticalFields({1});
+  // The additive reduce below carries pure increments, which only the push
+  // kernel's message/reduce split expresses (a pull fold would overwrite).
+  fl.SetEdgeMapMode(EdgeMapMode::kPush);
+  PprPushResult result;
+  // LLOC-BEGIN
+  auto active = [&](const PprData& v, VertexId id) {
+    return ActiveResidual(v.res, fl.OutDeg(id), eps);
+  };
+  auto drain = [&](PprData& v, VertexId id) {
+    const uint32_t deg = fl.OutDeg(id);
+    if (deg == 0) {
+      v.rank += v.res;
+      v.res = 0;
+      return;
+    }
+    v.rank += alpha * v.res;
+    v.push = (1.0 - alpha) * v.res / deg;
+    v.res = 0;
+  };
+
+  fl.VertexMap(fl.V(), CTrue, [&](PprData& v, VertexId id) {
+    v.res = (id == seed) ? 1.0 : 0.0;
+  });
+  if (options.execution_mode == ExecutionMode::kAsync) {
+    PprPushAsyncProgram program;
+    program.graph = graph.get();
+    program.alpha = alpha;
+    program.eps = eps;
+    AsyncRun(fl, program, {seed});
+    result.rounds = static_cast<int>(fl.metrics().async.rounds);
+  } else {
+    VertexSubset frontier = fl.VertexMap(fl.V(), active);
+    while (fl.Size(frontier) != 0) {
+      fl.VertexMap(frontier, CTrue, drain);
+      VertexSubset changed = fl.EdgeMap(
+          frontier, fl.E(),
+          [](const PprData& s, const PprData&, VertexId, VertexId, float) {
+            return s.push > 0.0;
+          },
+          // The message carries only this edge's increment; the reduce adds
+          // it to the owner's residual (seeded from the current value).
+          [](const PprData& s, PprData& d, VertexId, VertexId, float) {
+            d.res = s.push;
+          },
+          CTrue, [](const PprData& t, PprData& d) { d.res += t.res; });
+      frontier = fl.VertexMap(changed, active);
+      ++result.rounds;
+    }
+  }
+  // LLOC-END
+  result.rank = fl.ExtractResults<double>(
+      [](const PprData& v, VertexId) { return v.rank; });
+  result.residual = fl.ExtractResults<double>(
+      [](const PprData& v, VertexId) { return v.res; });
+  result.metrics = fl.metrics();
+  return result;
+}
+
+}  // namespace flash::algo

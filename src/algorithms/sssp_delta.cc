@@ -20,6 +20,31 @@ struct DeltaData {
   float dis = kInfF;
   FLASH_FIELDS(dis)
 };
+
+/// Async mode folds the entire pending/settled subset algebra below into
+/// the engine scheduler: buckets of width delta ARE the engine's priority
+/// buckets, and the per-worker lowest-bucket drain-to-fixpoint is the
+/// light-edge inner loop. The driver keeps nothing but the program.
+struct DeltaAsyncProgram {
+  struct Message {
+    float dis;
+  };
+  static constexpr Monotonicity kMonotonicity = Monotonicity::kIdempotent;
+  float delta = 1.0f;
+  bool OnDequeue(DeltaData&, VertexId) { return true; }
+  bool Gen(const DeltaData& s, VertexId, VertexId, float w, Message& m) {
+    m.dis = s.dis + w;
+    return true;
+  }
+  bool Apply(const Message& m, DeltaData& d, VertexId) {
+    if (m.dis >= d.dis) return false;
+    d.dis = m.dis;
+    return true;
+  }
+  uint32_t Priority(const DeltaData& d, VertexId) const {
+    return d.dis <= 0.0f ? 0 : static_cast<uint32_t>(d.dis / delta);
+  }
+};
 }  // namespace
 
 SsspResult RunSsspDeltaStepping(const GraphPtr& graph, VertexId root,
@@ -27,6 +52,19 @@ SsspResult RunSsspDeltaStepping(const GraphPtr& graph, VertexId root,
   FLASH_CHECK_GT(delta, 0.0f);
   GraphApi<DeltaData> fl(graph, options);
   SsspResult result;
+  if (options.execution_mode == ExecutionMode::kAsync) {
+    fl.VertexMap(fl.V(), CTrue, [&](DeltaData& v, VertexId id) {
+      v.dis = (id == root) ? 0.0f : kInfF;
+    });
+    DeltaAsyncProgram program;
+    program.delta = delta;
+    AsyncRun(fl, program, {root});
+    result.rounds = static_cast<int>(fl.metrics().async.rounds);
+    result.distance = fl.ExtractResults<float>(
+        [](const DeltaData& v, VertexId) { return v.dis; });
+    result.metrics = fl.metrics();
+    return result;
+  }
   // LLOC-BEGIN
   auto relax = [](const DeltaData& s, DeltaData& d, VertexId, VertexId,
                   float w) { d.dis = std::min(d.dis, s.dis + w); };

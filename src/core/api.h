@@ -31,6 +31,7 @@
 
 #include "common/dsu.h"
 #include "common/fields.h"
+#include "core/async_engine.h"
 #include "core/detail.h"
 #include "core/edge_set.h"
 #include "core/engine.h"

@@ -643,6 +643,12 @@ class GraphApi {
   }
 
  private:
+  /// The asynchronous execution backend (core/async_engine.h) is a sibling
+  /// of the BSP loop, not a layer above the public API: it drives the same
+  /// stores, partition, bus, pool, and metrics directly.
+  template <typename V, typename Program>
+  friend class AsyncEngine;
+
   /// One accumulation lane of update traffic headed for a single destination
   /// worker: update targets in emission order plus their serialised payload
   /// records, columnar so the flush can coalesce lanes into one
@@ -826,6 +832,7 @@ class GraphApi {
       case StepKind::kEdgeMapDense: return "step:edgemap_dense";
       case StepKind::kEdgeMapSparse: return "step:edgemap_sparse";
       case StepKind::kAggregate: return "step:aggregate";
+      case StepKind::kAsyncRound: return "step:async_round";
     }
     return "step";
   }

@@ -28,7 +28,28 @@ std::string ModeledTime::ToString() const {
 ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
   ModeledTime result;
   const double cores = std::max(1, config.cores_per_node);
+  constexpr double kSerialFraction = 0.09;
+  // Async micro-rounds are priced outside the per-step loop: their comm and
+  // serialise volumes accumulate here, each round pays the relaxed drain
+  // cost instead of a barrier, and compute is charged once per run from the
+  // busiest worker's cumulative measured seconds — a round never waits for
+  // the slowest worker, so a per-round comp_max term would reintroduce
+  // exactly the straggler tax the async engine removes.
+  double async_comm = 0;
+  double async_serialize = 0;
+  double async_sync = 0;
   for (const StepSample& step : metrics.steps) {
+    if (step.kind == StepKind::kAsyncRound) {
+      async_serialize += step.bytes_max * 0.25e-9;
+      if (config.nodes > 1) {
+        async_comm +=
+            static_cast<double>(step.bytes_max) / config.bytes_per_second +
+            1e-9 * config.ns_per_message *
+                static_cast<double>(step.msgs_total) / config.nodes;
+      }
+      async_sync += config.relaxed_sync_seconds;
+      continue;
+    }
     // Compute: the busiest worker's work, spread over its cores. Intra-node
     // parallel efficiency degrades with core count (scheduling + memory
     // contention; the paper's Fig 4b measures 1.8x/2.9x/4.7x/6.7x/7.5x at
@@ -44,7 +65,6 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
       work_seconds = std::max(work_seconds,
                               step.comp_max / config.host_compute_scale);
     }
-    constexpr double kSerialFraction = 0.09;
     double compute =
         work_seconds * (kSerialFraction + (1.0 - kSerialFraction) / cores);
 
@@ -72,6 +92,28 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
     result.serialize += serialize;
     result.other += config.barrier_seconds;
     result.total += step_time;
+  }
+
+  // Async engine: run-level pricing of the accumulated micro-round terms.
+  const AsyncStats& async = metrics.async;
+  if (async.Any()) {
+    const double async_compute =
+        (async.comp_seconds_max / config.host_compute_scale) *
+        (kSerialFraction + (1.0 - kSerialFraction) / cores);
+    const double sweeps =
+        static_cast<double>(async.token_sweeps) * config.token_sweep_seconds;
+    double async_time;
+    if (config.overlap_comm_compute) {
+      async_time = std::max(async_compute, async_comm) + async_serialize;
+    } else {
+      async_time = async_compute + async_comm + async_serialize;
+    }
+    async_time += async_sync + sweeps;
+    result.compute += async_compute;
+    result.comm += async_comm;
+    result.serialize += async_serialize;
+    result.other += async_sync + sweeps;
+    result.total += async_time;
   }
 
   // Fault tolerance: checkpoint writes, crash restores (detection latency +

@@ -37,6 +37,20 @@ struct ClusterConfig {
   double ns_per_message = 8.0;
   double barrier_seconds = 40e-6;  // BSP barrier + collective latency.
 
+  // Async-engine terms (engaged only when the run's Metrics carry nonzero
+  // AsyncStats; see the drift note next to ns_per_message in DESIGN.md §4).
+  // A relaxed micro-round ends when a worker's inbound channels drain — a
+  // handful of point-to-point counter reads piggybacked on the data
+  // exchange, not a collective — so it is priced near the shared-memory
+  // join cost, an order of magnitude under the BSP barrier. A termination
+  // token circuit is `nodes` sequential point-to-point hops carrying one
+  // counter vector; the barrier constant is an honest (conservative) price
+  // for it. Async compute is priced once per run from the busiest worker's
+  // *cumulative* measured seconds (AsyncStats::comp_seconds_max): workers
+  // never wait on per-round stragglers, so no per-round max applies.
+  double relaxed_sync_seconds = 5e-6;
+  double token_sweep_seconds = 40e-6;
+
   /// Ratio of the modelled cluster core's speed to the host core that ran
   /// the simulation (measured per-superstep compute seconds are divided by
   /// this before pricing). 1.0 = same single-core speed.

@@ -33,6 +33,7 @@ uint64_t MessageBus::Exchange() {
       const uint64_t channel_msgs = channel_messages_[index];
       messages += channel_msgs;
       channel_messages_[index] = 0;
+      channel_messages_total_[index] += channel_msgs;
       // Empty channels still flow through the swap below (it is what clears
       // the previous exchange's incoming buffer) but record no span.
       OBS_SPAN_VAR(channel_span,

@@ -34,7 +34,9 @@ class MessageBus {
       : num_workers_(num_workers),
         outgoing_(static_cast<size_t>(num_workers) * num_workers),
         incoming_(static_cast<size_t>(num_workers) * num_workers),
-        channel_messages_(static_cast<size_t>(num_workers) * num_workers, 0) {
+        channel_messages_(static_cast<size_t>(num_workers) * num_workers, 0),
+        channel_messages_total_(static_cast<size_t>(num_workers) * num_workers,
+                                0) {
     FLASH_CHECK_GE(num_workers, 1);
   }
 
@@ -85,6 +87,16 @@ class MessageBus {
   uint64_t TotalBytes() const { return total_bytes_; }
   uint64_t TotalMessages() const { return total_messages_; }
 
+  /// Cumulative messages ever exchanged on the src→dst channel (folded at
+  /// each Exchange, exact even under message faults — the unreliable wire
+  /// reassembles payloads byte-identically, so logical message counts are
+  /// conserved). The async engine's termination detection compares these
+  /// sender-side totals against receiver-side received/applied counts:
+  /// global quiescence holds iff they agree on every channel.
+  uint64_t ChannelMessagesTotal(int src, int dst) const {
+    return channel_messages_total_[Index(src, dst)];
+  }
+
   /// Capacity currently retained across every channel buffer (outgoing and
   /// incoming sides). Exchange() applies the pooled high-water-mark trim
   /// (RecyclePooled), so this decays within a few quiet supersteps after a
@@ -110,6 +122,7 @@ class MessageBus {
   std::vector<BufferWriter> outgoing_;
   std::vector<std::vector<uint8_t>> incoming_;
   std::vector<uint64_t> channel_messages_;
+  std::vector<uint64_t> channel_messages_total_;
   uint64_t last_max_worker_bytes_ = 0;
   uint64_t last_total_bytes_ = 0;
   uint64_t last_messages_ = 0;

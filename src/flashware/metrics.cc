@@ -38,6 +38,16 @@ std::string FaultStats::ToString() const {
   return out.str();
 }
 
+std::string AsyncStats::ToString() const {
+  std::ostringstream out;
+  out << "rounds=" << rounds << " sweeps=" << token_sweeps
+      << " relaxations=" << relaxations << " inserts=" << bucket_inserts
+      << " sent=" << msgs_sent << " received=" << msgs_received
+      << " applied=" << msgs_applied << " comp_max=" << comp_seconds_max
+      << "s";
+  return out.str();
+}
+
 std::string Metrics::ToString() const {
   std::ostringstream out;
   out << "supersteps=" << supersteps << " edges=" << edges_scanned
@@ -49,6 +59,7 @@ std::string Metrics::ToString() const {
       << " (compute=" << compute_seconds << " comm=" << comm_seconds
       << " ser=" << serialize_seconds << " other=" << other_seconds << ")";
   if (fault.Any()) out << " fault[" << fault.ToString() << "]";
+  if (async.Any()) out << " async[" << async.ToString() << "]";
   return out.str();
 }
 

@@ -12,7 +12,8 @@ enum class StepKind : uint8_t {
   kVertexMap,
   kEdgeMapDense,
   kEdgeMapSparse,
-  kAggregate,  // SIZE / reductions / subset bitmap exchanges.
+  kAggregate,   // SIZE / reductions / subset bitmap exchanges.
+  kAsyncRound,  // One relaxed micro-round of the async engine (no barrier).
 };
 
 /// One BSP superstep's worth of counters, with per-worker maxima retained so
@@ -91,6 +92,36 @@ struct FaultStats {
   std::string ToString() const;
 };
 
+/// Counters of one async-engine run (core/async_engine.h). All zero for
+/// pure-BSP runs. Message counters are exact and must conserve — the
+/// engine's termination detection declares quiescence only when
+/// msgs_sent == msgs_received == msgs_applied on every channel, and the
+/// equivalence tests assert the same equality on these totals. Updated only
+/// between micro-round phases (host thread), so the counters are
+/// deterministic at any host thread count.
+struct AsyncStats {
+  uint64_t rounds = 0;        // Relaxed micro-rounds executed.
+  uint64_t token_sweeps = 0;  // Completed termination-detection circuits.
+  uint64_t relaxations = 0;   // Vertex dequeues that ran the program hook.
+  uint64_t bucket_inserts = 0;  // Priority-bucket enqueues (incl. re-queues).
+  uint64_t msgs_sent = 0;      // Remote messages framed onto the bus.
+  uint64_t msgs_received = 0;  // Messages decoded from inbound frames.
+  uint64_t msgs_applied = 0;   // Messages folded into owner state.
+  /// Cumulative single-threaded compute seconds: the busiest worker and the
+  /// sum over workers. The cost model prices async compute from the busiest
+  /// worker's *cumulative* time — workers never wait for per-round
+  /// stragglers, so no per-round max applies.
+  double comp_seconds_max = 0;
+  double comp_seconds_total = 0;
+
+  bool Any() const {
+    return rounds | token_sweeps | relaxations | bucket_inserts | msgs_sent |
+           msgs_received | msgs_applied;
+  }
+
+  std::string ToString() const;
+};
+
 /// Cumulative metrics for one algorithm run on the simulated cluster.
 struct Metrics {
   uint64_t supersteps = 0;
@@ -116,6 +147,9 @@ struct Metrics {
 
   /// Fault-injection and recovery counters (all zero without a FaultPlan).
   FaultStats fault;
+
+  /// Async-engine counters (all zero for pure-BSP runs).
+  AsyncStats async;
 
   /// Per-superstep counter samples (present when
   /// RuntimeOptions::record_steps). Distinct from the obs/ span *tracer*

@@ -22,6 +22,18 @@ enum class EdgeMapMode {
   kPull,   // Always EDGEMAPDENSE.
 };
 
+/// Which execution backend runs the algorithm's fixpoint loop.
+enum class ExecutionMode {
+  /// Bulk-synchronous supersteps: one global barrier per primitive. The
+  /// correctness oracle — every algorithm supports it.
+  kBsp,
+  /// Asynchronous priority-driven engine (core/async_engine.h): per-worker
+  /// priority buckets with relaxed barriers and counter-conservation
+  /// termination detection. Supported by algorithms that declare a
+  /// monotonicity contract (BFS, SSSP, CC, push-PPR); others ignore it.
+  kAsync,
+};
+
 /// Runtime configuration of the simulated FLASH cluster.
 struct RuntimeOptions {
   /// Number of simulated workers (processes in the paper; <= 64).
@@ -48,6 +60,17 @@ struct RuntimeOptions {
   PartitionScheme partition = PartitionScheme::kHash;
 
   EdgeMapMode edgemap_mode = EdgeMapMode::kAdaptive;
+
+  /// Execution backend for algorithms that support both (see ExecutionMode).
+  /// Async runs converge to the same fixpoint as BSP — bit-identical for
+  /// idempotent (min/max-style) algorithms — at any host_threads, but pay a
+  /// relaxed per-round drain instead of a global barrier per superstep.
+  ExecutionMode execution_mode = ExecutionMode::kBsp;
+
+  /// Bucket width for the async engine's delta-stepping scheduler (weighted
+  /// algorithms only; unweighted ones bucket by level). 0 picks a default
+  /// tuned for the generators' uniform (0, 1] weights.
+  float async_delta = 0.0f;
 
   /// Dense if |U| + outdeg(U) > |E| / dense_threshold (Ligra's heuristic;
   /// Ligra uses 20).

@@ -81,6 +81,24 @@ Result<GraphPtr> GenerateGrid(const GridOptions& options) {
   return builder.Build(build);
 }
 
+Result<GraphPtr> MakeRoadGrid(const RoadGridOptions& options) {
+  if (options.width == 0) {
+    return Status::InvalidArgument("road grid width must be positive");
+  }
+  GridOptions grid;
+  // Diameter of a full rows x cols grid is (rows - 1) + (cols - 1).
+  grid.cols = options.width;
+  const uint32_t across = options.width - 1;
+  grid.rows = options.target_diameter > across
+                  ? options.target_diameter - across + 1
+                  : 2;
+  grid.keep_prob = 1.0;         // Every grid edge: exact, connected.
+  grid.highway_fraction = 0.0;  // No shortcuts: the full barrier tax.
+  grid.weighted = options.weighted;
+  grid.seed = options.seed;
+  return GenerateGrid(grid);
+}
+
 Result<GraphPtr> GenerateWebGraph(const WebGraphOptions& options) {
   if (options.num_vertices < 2) {
     return Status::InvalidArgument("web graph needs at least 2 vertices");

@@ -39,6 +39,22 @@ struct GridOptions {
 };
 Result<GraphPtr> GenerateGrid(const GridOptions& options);
 
+/// Deterministic high-diameter road-grid testbed: an elongated strip of
+/// `width` columns sized so the hop diameter is exactly `target_diameter`,
+/// with every grid edge kept (no random pruning, no highway shortcuts).
+/// Connectivity and diameter are exact and reproducible, which makes it the
+/// reference worst case for barrier-bound execution: a BSP traversal pays
+/// O(target_diameter) supersteps where the async engine pays none. Used by
+/// bench/async_vs_bsp and the async equivalence tests; `seed` only perturbs
+/// the edge weights when `weighted`.
+struct RoadGridOptions {
+  uint32_t target_diameter = 512;
+  uint32_t width = 8;
+  bool weighted = false;
+  uint64_t seed = 707;
+};
+Result<GraphPtr> MakeRoadGrid(const RoadGridOptions& options);
+
 /// Web-graph-like generator: preferential attachment with a copying factor,
 /// yielding a skewed (but less extreme than RMAT) degree distribution and
 /// locally dense neighbourhoods. Real web crawls (uk-2002, sk-2005) are

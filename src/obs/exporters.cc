@@ -177,7 +177,11 @@ void WriteTimelineTsv(std::ostream& out, const flash::Metrics& metrics,
       if (span.kind == SpanKind::kSuperstep) by_step[span.superstep] = &span;
     }
   }
-  const char* kind_names[] = {"vertexmap", "dense", "sparse", "aggregate"};
+  const char* kind_names[] = {"vertexmap", "dense", "sparse", "aggregate",
+                              "async_round"};
+  static_assert(sizeof(kind_names) / sizeof(kind_names[0]) ==
+                    static_cast<size_t>(flash::StepKind::kAsyncRound) + 1,
+                "kind_names must cover every StepKind");
   char buffer[64];
   auto secs = [&](double value) {
     std::snprintf(buffer, sizeof(buffer), "%.9f", value);

@@ -109,6 +109,25 @@ Registry BuildRegistry(const flash::Metrics& metrics,
                "Simulation seconds serialising payloads");
   reg.CounterF("flash_other_seconds_total", metrics.other_seconds,
                "Simulation seconds in setup/bookkeeping");
+  // Async-engine counters (AsyncStats; exact integers plus the cumulative
+  // busiest-worker compute seconds the cost model prices).
+  const AsyncStats& a = metrics.async;
+  reg.Counter("flash_async_rounds_total", a.rounds,
+              "Relaxed micro-rounds executed by the async engine");
+  reg.Counter("flash_async_token_sweeps_total", a.token_sweeps,
+              "Completed termination-detection token circuits");
+  reg.Counter("flash_async_relaxations_total", a.relaxations,
+              "Vertex dequeues processed by the async program");
+  reg.Counter("flash_async_bucket_inserts_total", a.bucket_inserts,
+              "Priority-bucket enqueues (including re-queues)");
+  reg.Counter("flash_async_messages_sent_total", a.msgs_sent,
+              "Async messages framed onto the bus");
+  reg.Counter("flash_async_messages_received_total", a.msgs_received,
+              "Async messages decoded from inbound frames");
+  reg.Counter("flash_async_messages_applied_total", a.msgs_applied,
+              "Async messages folded into owner state");
+  reg.CounterF("flash_async_compute_seconds_max", a.comp_seconds_max,
+               "Busiest worker's cumulative async compute seconds");
   // Fault and recovery counters (FaultStats; all exact integers).
   const FaultStats& f = metrics.fault;
   reg.Counter("flash_fault_fragments_total", f.fragments_sent,

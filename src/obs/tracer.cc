@@ -18,6 +18,8 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kCheckpoint: return "checkpoint";
     case SpanKind::kRecovery: return "recovery";
     case SpanKind::kInstant: return "instant";
+    case SpanKind::kAsyncRound: return "async_round";
+    case SpanKind::kTokenSweep: return "token_sweep";
   }
   return "?";
 }

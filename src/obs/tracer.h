@@ -41,6 +41,8 @@ enum class SpanKind : uint8_t {
   kCheckpoint,  // Snapshot encode/seal work.
   kRecovery,    // Crash restore + redo-log replay.
   kInstant,     // Zero-duration event (fault injections).
+  kAsyncRound,  // One relaxed micro-round of the async engine (host lane).
+  kTokenSweep,  // Termination-detection token circuit (host lane).
 };
 
 const char* SpanKindName(SpanKind kind);

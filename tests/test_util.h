@@ -98,6 +98,18 @@ inline std::vector<std::pair<std::string, GraphPtr>> TestGraphs(
   return graphs;
 }
 
+/// Deterministic high-diameter strip (MakeRoadGrid) at test size: the
+/// barrier-bound worst case the async/BSP equivalence sweeps and the
+/// barrier-count assertions run on. Hop diameter is exactly `diameter`.
+inline GraphPtr RoadGridTestGraph(uint32_t diameter = 96,
+                                  bool weighted = false) {
+  RoadGridOptions opt;
+  opt.target_diameter = diameter;
+  opt.width = 4;
+  opt.weighted = weighted;
+  return MakeRoadGrid(opt).value();
+}
+
 }  // namespace flash::testing
 
 #endif  // FLASH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Aggregates bench artifacts into one machine-readable summary.
+
+Every bench binary writes out/BENCH_<name>.json through the harness's
+BenchReport (shared schema "flash-bench-v1": bench name plus a flat list of
+{graph, config, metrics} records). This collector globs out/BENCH_*.json,
+validates the schema, and writes out/BENCH_summary.json containing every
+record plus per-bench totals — the single artifact CI uploads.
+
+Files that do not carry the shared schema (e.g. artifacts from an older
+checkout) are listed under "skipped" rather than failing the run, so the
+collector can always run at the end of a bench sweep.
+
+Usage: tools/collect_bench.py [--out-dir out] [--output out/BENCH_summary.json]
+Exits non-zero only when --require-benches N is given and fewer than N
+schema-valid bench files were found.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "flash-bench-v1"
+SUMMARY_BASENAME = "BENCH_summary.json"
+
+
+def load_bench(path):
+    """Returns (report dict, error string); exactly one is None."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return None, f"unreadable: {err}"
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+        return None, f"not {SCHEMA}"
+    if not isinstance(data.get("name"), str):
+        return None, "missing bench name"
+    records = data.get("records")
+    if not isinstance(records, list):
+        return None, "missing records list"
+    for i, record in enumerate(records):
+        if not isinstance(record, dict) or "metrics" not in record:
+            return None, f"record {i} malformed"
+        if not isinstance(record.get("config", {}), dict):
+            return None, f"record {i} config not a map"
+        if not isinstance(record["metrics"], dict):
+            return None, f"record {i} metrics not a map"
+    return data, None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default="out",
+                        help="directory the bench binaries wrote to")
+    parser.add_argument("--output", default=None,
+                        help="summary path (default <out-dir>/BENCH_summary.json)")
+    parser.add_argument("--require-benches", type=int, default=0,
+                        help="fail unless at least N schema-valid bench files found")
+    args = parser.parse_args(argv)
+
+    output = args.output or os.path.join(args.out_dir, SUMMARY_BASENAME)
+    benches = []
+    skipped = []
+    for path in sorted(glob.glob(os.path.join(args.out_dir, "BENCH_*.json"))):
+        if os.path.basename(path) == SUMMARY_BASENAME:
+            continue
+        report, error = load_bench(path)
+        if report is None:
+            skipped.append({"file": os.path.basename(path), "reason": error})
+            print(f"skip {path}: {error}", file=sys.stderr)
+            continue
+        benches.append({
+            "name": report["name"],
+            "file": os.path.basename(path),
+            "scale": report.get("scale"),
+            "workers": report.get("workers"),
+            "num_records": len(report["records"]),
+            "records": report["records"],
+        })
+        print(f"ok   {path}: {len(report['records'])} records", file=sys.stderr)
+
+    summary = {
+        "schema": "flash-bench-summary-v1",
+        "num_benches": len(benches),
+        "num_records": sum(b["num_records"] for b in benches),
+        "benches": benches,
+        "skipped": skipped,
+    }
+    os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {output}: {summary['num_benches']} benches, "
+          f"{summary['num_records']} records", file=sys.stderr)
+
+    if args.require_benches and len(benches) < args.require_benches:
+        print(f"error: expected >= {args.require_benches} benches, "
+              f"found {len(benches)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

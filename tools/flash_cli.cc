@@ -16,6 +16,9 @@
 //     --threads=N         threads per worker              (default 1)
 //     --mode=M            push | pull | adaptive          (default adaptive)
 //     --partition=P       hash | chunk                    (default hash)
+//     --exec=E            bsp | async                     (default bsp)
+//                         (async backs bfs, sssp, cc, pprpush; other
+//                         algorithms ignore it and run BSP)
 //   algorithm options:
 //     --root=V            source vertex (bfs, sssp, bc, ppr, diameter)
 //     --iters=N           iterations (pagerank, lpa, hits, ppr) (default 10)
@@ -73,6 +76,7 @@ struct Args {
   int threads = 1;
   std::string mode = "adaptive";
   std::string partition = "hash";
+  std::string exec = "bsp";
   VertexId root = 0;
   int iters = 10;
   int k = 4;
@@ -94,7 +98,8 @@ struct Args {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <algorithm> [--graph=FILE | --dataset=ABBR | "
-               "--gen=KIND] [--scale=F] [--workers=N] [--mode=M] [--root=V] "
+               "--gen=KIND] [--scale=F] [--workers=N] [--mode=M] [--exec=E] "
+               "[--root=V] "
                "[--iters=N] [--k=K] [--weighted] [--directed] "
                "[--output=FILE] [--metrics] [--trace-out=FILE] "
                "[--metrics-out=FILE] [--timeline-out=FILE] [--profile] "
@@ -130,6 +135,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->mode = v;
     } else if ((v = value("--partition="))) {
       args->partition = v;
+    } else if ((v = value("--exec="))) {
+      args->exec = v;
     } else if ((v = value("--root="))) {
       args->root = static_cast<VertexId>(std::atoll(v));
     } else if ((v = value("--iters="))) {
@@ -224,6 +231,7 @@ RuntimeOptions MakeRuntime(const Args& args) {
   if (args.mode == "push") options.edgemap_mode = EdgeMapMode::kPush;
   if (args.mode == "pull") options.edgemap_mode = EdgeMapMode::kPull;
   if (args.partition == "chunk") options.partition = PartitionScheme::kChunk;
+  if (args.exec == "async") options.execution_mode = ExecutionMode::kAsync;
   if (args.WantsTrace()) {
     options.trace = true;
     options.tracer = std::make_shared<obs::Tracer>();
@@ -417,6 +425,11 @@ int Run(const Args& args) {
                                            options);
     WriteVector(args.output, r.rank);
     std::printf("ppr from %u: %d iterations\n", args.root, args.iters);
+    metrics = r.metrics;
+  } else if (a == "pprpush") {
+    auto r = algo::RunPprPush(graph, args.root, 0.15, 1e-6, options);
+    WriteVector(args.output, r.rank);
+    std::printf("pprpush from %u: %d rounds\n", args.root, r.rounds);
     metrics = r.metrics;
   } else if (a == "clustering") {
     auto r = algo::RunClusteringCoefficient(graph, options);
