@@ -2,6 +2,8 @@
 #define FLASH_ALGORITHMS_ALGORITHMS_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "flashware/metrics.h"
@@ -177,9 +179,54 @@ struct MsBfsResult {
   int rounds = 0;
   Metrics metrics;
 };
+/// One vertex first reached at some traversal level, with the mask of
+/// sources (bit i = sources[i]) whose wavefront arrived there that level.
+/// Trivially copyable — the core gathers these across workers.
+struct MsBfsArrival {
+  VertexId vertex = 0;
+  uint64_t mask = 0;
+};
+
+/// One committed level of the bit-parallel multi-source traversal: the
+/// vertices first reached at `level`, each with the mask of sources that
+/// arrived. Entries ascend by vertex id and every (vertex, source) pair
+/// appears in exactly one level — that level is the source's exact hop
+/// distance to the vertex.
+struct MsBfsLevel {
+  uint32_t level = 0;
+  std::vector<MsBfsArrival> fresh;
+};
+
+/// Hooks into the reusable multi-source core (RunMultiSourceBfsCore).
+struct MsBfsCoreOptions {
+  /// Stop after committing this many levels beyond the seeds (the serving
+  /// layer's k-hop cut); kInf32 = run to the frontier fixpoint.
+  uint32_t max_level = kInf32;
+  /// When set, each committed level's fresh (vertex, mask) list is gathered
+  /// (one billed AllGather per non-empty level; level 0 — the seeds
+  /// themselves — costs nothing, the driver already knows them) and handed
+  /// to the callback. Return false to stop the traversal early, e.g. once
+  /// every point query riding the pass has been answered.
+  std::function<bool(const MsBfsLevel&)> on_level;
+};
+
+/// The reusable bit-parallel multi-source traversal core: advances up to 64
+/// sources' wavefronts together, one EDGEMAP sweep per level, reporting
+/// committed levels through `core.on_level`. This is the shared engine pass
+/// the serving layer (src/serving/) coalesces point queries onto;
+/// RunMultiSourceBfs is a thin wrapper over it. Returns the number of
+/// levels executed; the pass's engine counters are absorbed into *metrics
+/// when non-null.
+int RunMultiSourceBfsCore(const GraphPtr& graph,
+                          const std::vector<VertexId>& sources,
+                          const RuntimeOptions& options,
+                          const MsBfsCoreOptions& core,
+                          Metrics* metrics = nullptr);
+
 /// Multi-source BFS: up to 64 sources traversed simultaneously with
 /// bitmask frontiers (one graph pass for all sources) — the building block
-/// of closeness/harmonic centrality estimation.
+/// of closeness/harmonic centrality estimation and of the serving layer's
+/// batched BFS-distance / k-hop / landmark point queries.
 MsBfsResult RunMultiSourceBfs(const GraphPtr& graph,
                               const std::vector<VertexId>& sources,
                               const RuntimeOptions& options = {});

@@ -25,14 +25,7 @@ CentralityResult RunHarmonicCentrality(const GraphPtr& graph,
       result.harmonic[v] += pass.harmonic[v];
     }
     // Fold the batch's communication/work into the run total.
-    result.metrics.supersteps += pass.metrics.supersteps;
-    result.metrics.edges_scanned += pass.metrics.edges_scanned;
-    result.metrics.vertices_updated += pass.metrics.vertices_updated;
-    result.metrics.messages += pass.metrics.messages;
-    result.metrics.bytes += pass.metrics.bytes;
-    result.metrics.compute_seconds += pass.metrics.compute_seconds;
-    result.metrics.comm_seconds += pass.metrics.comm_seconds;
-    result.metrics.serialize_seconds += pass.metrics.serialize_seconds;
+    result.metrics.Absorb(pass.metrics);
   }
   // LLOC-END
   return result;

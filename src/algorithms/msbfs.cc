@@ -2,9 +2,15 @@
 //
 // Traverses from up to 64 sources simultaneously: each vertex keeps a
 // 64-bit visited mask and a per-round frontier mask; one EDGEMAP sweep per
-// level advances every source's wavefront at once. The per-level counts
-// feed closeness/harmonic centrality estimation — one graph pass instead
-// of 64.
+// level advances every source's wavefront at once. The traversal itself is
+// RunMultiSourceBfsCore — shared by closeness/harmonic centrality (below)
+// and by the serving layer (src/serving/), which coalesces point queries
+// onto one pass and consumes the per-level fresh lists. Each source's bit
+// advances independently of the others, so per-source results never depend
+// on which sources share the batch — the serving determinism contract.
+
+#include <algorithm>
+#include <map>
 
 #include "algorithms/algorithms.h"
 #include "common/logging.h"
@@ -13,26 +19,24 @@
 namespace flash::algo {
 
 namespace {
-struct MsBfsData {
+struct MsCoreData {
   uint64_t visited = 0;   // Bit s: reached by source s.
   uint64_t frontier = 0;  // Bit s: newly reached this round.
-  uint32_t dist_sum = 0;
-  double harmonic = 0;
-  FLASH_FIELDS(visited, frontier, dist_sum, harmonic)
+  FLASH_FIELDS(visited, frontier)
 };
 }  // namespace
 
-MsBfsResult RunMultiSourceBfs(const GraphPtr& graph,
-                              const std::vector<VertexId>& sources,
-                              const RuntimeOptions& options) {
+int RunMultiSourceBfsCore(const GraphPtr& graph,
+                          const std::vector<VertexId>& sources,
+                          const RuntimeOptions& options,
+                          const MsBfsCoreOptions& core, Metrics* metrics) {
   FLASH_CHECK_LE(sources.size(), 64u) << "at most 64 simultaneous sources";
-  GraphApi<MsBfsData> fl(graph, options);
-  MsBfsResult result;
-  // LLOC-BEGIN
-  fl.VertexMap(fl.V(), CTrue, [](MsBfsData& v) { v = MsBfsData{}; });
+  GraphApi<MsCoreData> fl(graph, options);
+  int rounds = 0;
+  fl.VertexMap(fl.V(), CTrue, [](MsCoreData& v) { v = MsCoreData{}; });
   VertexSubset frontier = fl.None();
   for (size_t s = 0; s < sources.size(); ++s) frontier.Add(sources[s]);
-  fl.VertexMap(frontier, CTrue, [&](MsBfsData& v, VertexId id) {
+  fl.VertexMap(frontier, CTrue, [&](MsCoreData& v, VertexId id) {
     for (size_t s = 0; s < sources.size(); ++s) {
       if (sources[s] == id) {
         v.visited |= uint64_t{1} << s;
@@ -40,37 +44,86 @@ MsBfsResult RunMultiSourceBfs(const GraphPtr& graph,
       }
     }
   });
-  for (uint32_t level = 1; fl.Size(frontier) != 0; ++level) {
+  bool keep_going = true;
+  if (core.on_level) {
+    // Level 0 is the seed set itself — assembled host-side (ascending by
+    // id, duplicate sources folded into one mask), no gather needed.
+    std::map<VertexId, uint64_t> seeds;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      seeds[sources[s]] |= uint64_t{1} << s;
+    }
+    MsBfsLevel level0;
+    for (const auto& [v, mask] : seeds) level0.fresh.push_back({v, mask});
+    keep_going = core.on_level(level0);
+  }
+  for (uint32_t level = 1;
+       keep_going && level <= core.max_level && fl.Size(frontier) != 0;
+       ++level) {
     frontier = fl.EdgeMap(
         frontier, fl.E(),
-        [](const MsBfsData& s, const MsBfsData& d) {
+        [](const MsCoreData& s, const MsCoreData& d) {
           return (s.frontier & ~d.visited) != 0;
         },
-        [](const MsBfsData& s, MsBfsData& d) {
+        [](const MsCoreData& s, MsCoreData& d) {
           d.frontier |= s.frontier & ~d.visited;  // Committed below.
         },
         CTrue,
-        [](const MsBfsData& t, MsBfsData& d) { d.frontier |= t.frontier; });
-    // Commit the round: count newly reached sources, fold into visited.
+        [](const MsCoreData& t, MsCoreData& d) { d.frontier |= t.frontier; });
+    // Commit the round: fold the newly reached sources into visited. After
+    // this map, members of `frontier` carry exactly this level's fresh mask.
     frontier = fl.VertexMap(
         frontier,
-        [](const MsBfsData& v) { return (v.frontier & ~v.visited) != 0; },
-        [level](MsBfsData& v) {
+        [](const MsCoreData& v) { return (v.frontier & ~v.visited) != 0; },
+        [](MsCoreData& v) {
           uint64_t fresh = v.frontier & ~v.visited;
-          int reached = __builtin_popcountll(fresh);
-          v.dist_sum += level * static_cast<uint32_t>(reached);
-          v.harmonic += static_cast<double>(reached) / level;
           v.visited |= fresh;
           v.frontier = fresh;
         });
-    ++result.rounds;
+    ++rounds;
+    if (core.on_level && frontier.TotalSize() != 0) {
+      // Collect this level's fresh (vertex, mask) pairs from the owners and
+      // gather them to the driver — billed like any REDUCE-style gather.
+      std::vector<std::vector<MsBfsArrival>> per_worker(
+          static_cast<size_t>(options.num_workers));
+      fl.ForEachWorker([&](int w) {
+        for (VertexId v : frontier.Owned(w)) {
+          per_worker[w].push_back({v, fl.Read(v).frontier});
+        }
+      });
+      MsBfsLevel out;
+      out.level = level;
+      out.fresh = fl.AllGather(per_worker);
+      std::sort(out.fresh.begin(), out.fresh.end(),
+                [](const MsBfsArrival& a, const MsBfsArrival& b) {
+                  return a.vertex < b.vertex;
+                });
+      keep_going = core.on_level(out);
+    }
   }
+  if (metrics != nullptr) metrics->Absorb(fl.metrics());
+  return rounds;
+}
+
+MsBfsResult RunMultiSourceBfs(const GraphPtr& graph,
+                              const std::vector<VertexId>& sources,
+                              const RuntimeOptions& options) {
+  MsBfsResult result;
+  result.distance_sum.assign(graph->NumVertices(), 0);
+  result.harmonic.assign(graph->NumVertices(), 0.0);
+  // LLOC-BEGIN
+  MsBfsCoreOptions core;
+  core.on_level = [&](const MsBfsLevel& lv) {
+    if (lv.level == 0) return true;  // Sources are at distance 0 of selves.
+    for (const auto& [v, mask] : lv.fresh) {
+      int reached = __builtin_popcountll(mask);
+      result.distance_sum[v] += lv.level * static_cast<uint32_t>(reached);
+      result.harmonic[v] += static_cast<double>(reached) / lv.level;
+    }
+    return true;
+  };
+  result.rounds =
+      RunMultiSourceBfsCore(graph, sources, options, core, &result.metrics);
   // LLOC-END
-  result.distance_sum = fl.ExtractResults<uint32_t>(
-      [](const MsBfsData& v, VertexId) { return v.dist_sum; });
-  result.harmonic = fl.ExtractResults<double>(
-      [](const MsBfsData& v, VertexId) { return v.harmonic; });
-  result.metrics = fl.metrics();
   return result;
 }
 

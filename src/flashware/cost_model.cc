@@ -1,6 +1,7 @@
 #include "flashware/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -135,6 +136,35 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
     result.total += result.recovery;
   }
   return result;
+}
+
+std::string LatencyStats::ToString() const {
+  std::ostringstream out;
+  out << count << " samples, mean=" << mean * 1e3 << "ms p50=" << p50 * 1e3
+      << "ms p90=" << p90 * 1e3 << "ms p99=" << p99 * 1e3
+      << "ms max=" << max * 1e3 << "ms";
+  return out.str();
+}
+
+LatencyStats SummarizeLatencies(std::vector<double> latencies) {
+  LatencyStats stats;
+  if (latencies.empty()) return stats;
+  std::sort(latencies.begin(), latencies.end());
+  stats.count = latencies.size();
+  double sum = 0;
+  for (double v : latencies) sum += v;
+  stats.mean = sum / static_cast<double>(stats.count);
+  // Nearest-rank: the smallest sample with at least q*count samples <= it.
+  auto rank = [&](double q) {
+    size_t r = static_cast<size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(stats.count))));
+    return latencies[r - 1];
+  };
+  stats.p50 = rank(0.50);
+  stats.p90 = rank(0.90);
+  stats.p99 = rank(0.99);
+  stats.max = latencies.back();
+  return stats;
 }
 
 ClusterConfig CalibrateComputeRate(ClusterConfig base) {

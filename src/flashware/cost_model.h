@@ -1,7 +1,9 @@
 #ifndef FLASH_FLASHWARE_COST_MODEL_H_
 #define FLASH_FLASHWARE_COST_MODEL_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "flashware/metrics.h"
 
@@ -68,6 +70,16 @@ struct ClusterConfig {
   double ns_per_replay_record = 25.0;
   double restore_latency_seconds = 50e-3;
 
+  // Serving-layer queueing terms (src/serving/). A query's modelled latency
+  // is admission + time queued behind earlier batches + its batch's shared
+  // engine pass (priced by ModelTime like any run). `query_admit_seconds`
+  // is the per-query front-door cost — parse, validate, enqueue, and the
+  // per-query share of result demux; `batch_dispatch_seconds` is the fixed
+  // per-batch cost of cutting a batch and launching the pass (scheduling
+  // decision + pass setup), paid once regardless of batch width.
+  double query_admit_seconds = 2e-6;
+  double batch_dispatch_seconds = 100e-6;
+
   std::string ToString() const;
 };
 
@@ -91,6 +103,24 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config);
 /// Measures this host's edge-scan throughput with a small in-memory kernel
 /// and returns a ClusterConfig whose ns_per_edge/ns_per_vertex reflect it.
 ClusterConfig CalibrateComputeRate(ClusterConfig base = {});
+
+/// Order statistics of a modelled-latency sample set (serving bench + CLI
+/// replay report). Quantiles use the nearest-rank method on the sorted
+/// sample — exact and deterministic, no interpolation.
+struct LatencyStats {
+  size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+
+  std::string ToString() const;
+};
+
+/// Summarises a vector of modelled per-query latencies (seconds). The input
+/// is copied and sorted; an empty input yields all-zero stats.
+LatencyStats SummarizeLatencies(std::vector<double> latencies);
 
 }  // namespace flash
 

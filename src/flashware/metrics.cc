@@ -27,6 +27,48 @@ void FoldTallies(const std::vector<StepTally>& task_tally,
   }
 }
 
+void Metrics::Absorb(const Metrics& other) {
+  supersteps += other.supersteps;
+  edges_scanned += other.edges_scanned;
+  vertices_updated += other.vertices_updated;
+  messages += other.messages;
+  bytes += other.bytes;
+  dense_steps += other.dense_steps;
+  sparse_steps += other.sparse_steps;
+  masters_committed += other.masters_committed;
+  wire_pool_peak_bytes =
+      std::max(wire_pool_peak_bytes, other.wire_pool_peak_bytes);
+  compute_seconds += other.compute_seconds;
+  comm_seconds += other.comm_seconds;
+  serialize_seconds += other.serialize_seconds;
+  other_seconds += other.other_seconds;
+
+  fault.fragments_sent += other.fault.fragments_sent;
+  fault.drops += other.fault.drops;
+  fault.duplicates += other.fault.duplicates;
+  fault.reorders += other.fault.reorders;
+  fault.retries += other.fault.retries;
+  fault.escalations += other.fault.escalations;
+  fault.checkpoints += other.fault.checkpoints;
+  fault.checkpoint_bytes += other.fault.checkpoint_bytes;
+  fault.restores += other.fault.restores;
+  fault.restored_bytes += other.fault.restored_bytes;
+  fault.replayed_records += other.fault.replayed_records;
+  fault.replayed_bytes += other.fault.replayed_bytes;
+
+  async.rounds += other.async.rounds;
+  async.token_sweeps += other.async.token_sweeps;
+  async.relaxations += other.async.relaxations;
+  async.bucket_inserts += other.async.bucket_inserts;
+  async.msgs_sent += other.async.msgs_sent;
+  async.msgs_received += other.async.msgs_received;
+  async.msgs_applied += other.async.msgs_applied;
+  async.comp_seconds_max += other.async.comp_seconds_max;
+  async.comp_seconds_total += other.async.comp_seconds_total;
+
+  steps.insert(steps.end(), other.steps.begin(), other.steps.end());
+}
+
 std::string FaultStats::ToString() const {
   std::ostringstream out;
   out << "frags=" << fragments_sent << " drops=" << drops

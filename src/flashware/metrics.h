@@ -173,6 +173,12 @@ struct Metrics {
     return compute_seconds + comm_seconds + serialize_seconds + other_seconds;
   }
 
+  /// Folds another run's counters into this one — the accumulator used when
+  /// a result composes several engine passes (harmonic centrality's
+  /// 64-source batches, a serving batch's shared pass). Counter fields add;
+  /// step samples concatenate in call order.
+  void Absorb(const Metrics& other);
+
   std::string ToString() const;
 };
 

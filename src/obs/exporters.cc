@@ -6,6 +6,7 @@
 #include <fstream>
 #include <ostream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "flashware/metrics.h"
@@ -136,30 +137,65 @@ void WritePrometheus(std::ostream& out, const Registry& registry) {
     std::snprintf(buffer, sizeof(buffer), "%.9g", value);
     return buffer;
   };
-  for (const Metric& m : registry.metrics()) {
-    if (!m.help.empty()) out << "# HELP " << m.name << " " << m.help << "\n";
-    out << "# TYPE " << m.name << " ";
-    switch (m.type) {
-      case MetricType::kCounter: out << "counter"; break;
-      case MetricType::kGauge: out << "gauge"; break;
-      case MetricType::kHistogram: out << "histogram"; break;
+  // Labels rendered Prometheus-style: {k="v",k2="v2"}. `extra` appends the
+  // histogram `le` dimension after the series' own labels.
+  auto labels = [&out](const Metric& m, const std::string& extra = "") {
+    if (m.labels.empty() && extra.empty()) return;
+    out << "{";
+    bool first = true;
+    for (const auto& [k, v] : m.labels) {
+      if (!first) out << ",";
+      first = false;
+      out << k << "=\"" << v << "\"";
     }
-    out << "\n";
+    if (!extra.empty()) {
+      if (!first) out << ",";
+      out << extra;
+    }
+    out << "}";
+  };
+  // One # HELP / # TYPE header per metric *name*; every labelled series of
+  // that name follows as its own sample line (the Prometheus exposition
+  // grouping rule). Series of one name are emitted adjacently by Registry's
+  // insertion order whenever callers set them together.
+  std::unordered_set<std::string> typed;
+  for (const Metric& m : registry.metrics()) {
+    if (typed.insert(m.name).second) {
+      if (!m.help.empty()) out << "# HELP " << m.name << " " << m.help << "\n";
+      out << "# TYPE " << m.name << " ";
+      switch (m.type) {
+        case MetricType::kCounter: out << "counter"; break;
+        case MetricType::kGauge: out << "gauge"; break;
+        case MetricType::kHistogram: out << "histogram"; break;
+      }
+      out << "\n";
+    }
     if (m.type == MetricType::kHistogram) {
       uint64_t cumulative = 0;
       for (size_t i = 0; i < m.bounds.size(); ++i) {
         cumulative += m.counts[i];
-        out << m.name << "_bucket{le=\"" << fmt(m.bounds[i]) << "\"} "
-            << cumulative << "\n";
+        out << m.name << "_bucket";
+        labels(m, std::string("le=\"") + fmt(m.bounds[i]) + "\"");
+        out << " " << cumulative << "\n";
       }
       cumulative += m.counts.empty() ? 0 : m.counts.back();
-      out << m.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
-      out << m.name << "_sum " << fmt(m.sum) << "\n";
-      out << m.name << "_count " << m.observations << "\n";
+      out << m.name << "_bucket";
+      labels(m, "le=\"+Inf\"");
+      out << " " << cumulative << "\n";
+      out << m.name << "_sum";
+      labels(m);
+      out << " " << fmt(m.sum) << "\n";
+      out << m.name << "_count";
+      labels(m);
+      out << " " << m.observations << "\n";
     } else if (m.integral) {
-      out << m.name << " " << m.ivalue << "\n";  // Exact uint64, no double.
+      out << m.name;
+      labels(m);
+      out << " " << m.ivalue << "\n";  // Exact uint64, no double.
     } else {
-      out << m.name << " " << fmt(m.dvalue) << "\n";
+      out << m.name;
+      labels(m);
+      out << " " << fmt(m.dvalue) << "\n";
     }
   }
 }

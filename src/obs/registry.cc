@@ -7,18 +7,33 @@
 
 namespace flash::obs {
 
-Metric& Registry::Upsert(const std::string& name, MetricType type,
-                         const std::string& help) {
-  auto it = index_.find(name);
+std::string Registry::SeriesKey(const std::string& name,
+                                const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';  // Unit separator: cannot appear in metric names.
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+Metric& Registry::Upsert(const std::string& name, const MetricLabels& labels,
+                         MetricType type, const std::string& help) {
+  const std::string key = SeriesKey(name, labels);
+  auto it = index_.find(key);
   if (it != index_.end()) {
     Metric& m = metrics_[it->second];
     m.type = type;
     if (!help.empty()) m.help = help;
     return m;
   }
-  index_.emplace(name, metrics_.size());
+  index_.emplace(key, metrics_.size());
   Metric m;
   m.name = name;
+  m.labels = labels;
   m.help = help;
   m.type = type;
   metrics_.push_back(std::move(m));
@@ -27,28 +42,35 @@ Metric& Registry::Upsert(const std::string& name, MetricType type,
 
 void Registry::Counter(const std::string& name, uint64_t value,
                        const std::string& help) {
-  Metric& m = Upsert(name, MetricType::kCounter, help);
+  Metric& m = Upsert(name, {}, MetricType::kCounter, help);
+  m.integral = true;
+  m.ivalue = value;
+}
+
+void Registry::Counter(const std::string& name, const MetricLabels& labels,
+                       uint64_t value, const std::string& help) {
+  Metric& m = Upsert(name, labels, MetricType::kCounter, help);
   m.integral = true;
   m.ivalue = value;
 }
 
 void Registry::CounterF(const std::string& name, double value,
                         const std::string& help) {
-  Metric& m = Upsert(name, MetricType::kCounter, help);
+  Metric& m = Upsert(name, {}, MetricType::kCounter, help);
   m.integral = false;
   m.dvalue = value;
 }
 
 void Registry::Gauge(const std::string& name, double value,
                      const std::string& help) {
-  Metric& m = Upsert(name, MetricType::kGauge, help);
+  Metric& m = Upsert(name, {}, MetricType::kGauge, help);
   m.integral = false;
   m.dvalue = value;
 }
 
 void Registry::Histogram(const std::string& name, std::vector<double> bounds,
                          const std::string& help) {
-  Metric& m = Upsert(name, MetricType::kHistogram, help);
+  Metric& m = Upsert(name, {}, MetricType::kHistogram, help);
   if (m.counts.empty()) {
     m.bounds = std::move(bounds);
     m.counts.assign(m.bounds.size() + 1, 0);
@@ -74,6 +96,12 @@ void Registry::Observe(const std::string& name, double value) {
 
 const Metric* Registry::Find(const std::string& name) const {
   auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &metrics_[it->second];
+}
+
+const Metric* Registry::Find(const std::string& name,
+                             const MetricLabels& labels) const {
+  auto it = index_.find(SeriesKey(name, labels));
   return it == index_.end() ? nullptr : &metrics_[it->second];
 }
 

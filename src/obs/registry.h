@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 /// FLASHWARE observability, layer 2: the metric registry.
@@ -19,8 +20,15 @@ namespace flash::obs {
 
 enum class MetricType { kCounter, kGauge, kHistogram };
 
+/// Label pairs of one metric series, in caller-given (rendered) order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
 struct Metric {
   std::string name;
+  /// Prometheus-style dimension labels; empty for plain metrics. Series of
+  /// the same `name` with different labels are distinct registry entries
+  /// (the exporter emits one # TYPE header per name, one line per series).
+  MetricLabels labels;
   std::string help;
   MetricType type = MetricType::kCounter;
   bool integral = true;    // Counters: exact uint64. Gauges: double.
@@ -40,6 +48,12 @@ class Registry {
   /// Sets the exact-integer counter `name` (creating it on first use).
   void Counter(const std::string& name, uint64_t value,
                const std::string& help = "");
+
+  /// Sets one labelled series of counter `name` — e.g. per-tenant serving
+  /// counters, `flash_serving_answered_total{tenant="a"}`. Series are keyed
+  /// by (name, labels); the same labels update in place.
+  void Counter(const std::string& name, const MetricLabels& labels,
+               uint64_t value, const std::string& help = "");
 
   /// Sets a floating counter (cumulative seconds and the like).
   void CounterF(const std::string& name, double value,
@@ -61,12 +75,16 @@ class Registry {
   /// Metrics in insertion order (the order exporters emit).
   const std::vector<Metric>& metrics() const { return metrics_; }
 
-  /// Lookup; null when `name` was never set.
+  /// Lookup; null when `name` was never set. The labelled overload finds
+  /// one specific series; the plain one finds the unlabelled series.
   const Metric* Find(const std::string& name) const;
+  const Metric* Find(const std::string& name, const MetricLabels& labels) const;
 
  private:
-  Metric& Upsert(const std::string& name, MetricType type,
-                 const std::string& help);
+  static std::string SeriesKey(const std::string& name,
+                               const MetricLabels& labels);
+  Metric& Upsert(const std::string& name, const MetricLabels& labels,
+                 MetricType type, const std::string& help);
 
   std::vector<Metric> metrics_;
   std::unordered_map<std::string, size_t> index_;

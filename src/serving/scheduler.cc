@@ -1,0 +1,113 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace flash::serving {
+
+namespace {
+constexpr double kInfTime = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
+  options_.batch_window = std::max(1, options_.batch_window);
+  service_estimate_.fill(0.0);
+}
+
+int Scheduler::KindWidth(QueryKind kind) const {
+  switch (kind) {
+    case QueryKind::kBfsDistance:
+    case QueryKind::kKHop:
+      // One frontier bit per *distinct* source; capping queries at 64
+      // guarantees the batch fits even when every source is distinct.
+      return std::min(options_.batch_window, 64);
+    case QueryKind::kLandmark:
+      // Landmark answers are cache lookups against one shared landmark
+      // pass — any number can ride together.
+      return options_.batch_window;
+    case QueryKind::kPpr:
+      // Forward push is seed-specific state per vertex; no sharing.
+      return 1;
+  }
+  return 1;
+}
+
+Status Scheduler::Enqueue(const PendingQuery& q) {
+  if (pending_ >= options_.max_queue) {
+    std::ostringstream msg;
+    msg << "admission queue full (" << pending_ << "/" << options_.max_queue
+        << "): shed " << QueryKindName(q.query.kind) << " query " << q.id;
+    return Status::OutOfRange(msg.str());
+  }
+  queues_[static_cast<size_t>(q.query.kind)].push_back(q);
+  ++pending_;
+  return Status::OK();
+}
+
+void Scheduler::SetServiceEstimate(QueryKind kind, double seconds) {
+  service_estimate_[static_cast<size_t>(kind)] = std::max(0.0, seconds);
+}
+
+double Scheduler::ForcedCutTime(const PendingQuery& oldest,
+                                QueryKind kind) const {
+  // Cut when more waiting would breach the wait cap, or would leave the
+  // oldest query less than the kind's estimated service time of deadline
+  // budget. A query whose budget is already below the estimate cuts
+  // immediately — served late is better than held hostage for batch-mates.
+  double budget = options_.max_batch_wait_s;
+  if (oldest.query.deadline_s < kInfTime) {
+    const double est = service_estimate_[static_cast<size_t>(kind)];
+    budget = std::min(budget, std::max(0.0, oldest.query.deadline_s - est));
+  }
+  return oldest.enqueue_s + budget;
+}
+
+double Scheduler::NextForcedCutTime() const {
+  double next = kInfTime;
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    if (queues_[k].empty()) continue;
+    next = std::min(
+        next, ForcedCutTime(queues_[k].front(), static_cast<QueryKind>(k)));
+  }
+  return next;
+}
+
+Batch Scheduler::CutDue(double now_s) {
+  Batch batch;
+  // Full-width batches first, in kind order (deterministic tie-break).
+  int cut_kind = -1;
+  for (int k = 0; k < kNumQueryKinds && cut_kind < 0; ++k) {
+    if (queues_[k].size() >=
+        static_cast<size_t>(KindWidth(static_cast<QueryKind>(k)))) {
+      cut_kind = k;
+    }
+  }
+  if (cut_kind < 0) {
+    // Deadline cuts: the kind whose oldest query is most overdue (earliest
+    // forced-cut time; ties by kind order).
+    double best = kInfTime;
+    for (int k = 0; k < kNumQueryKinds; ++k) {
+      if (queues_[k].empty()) continue;
+      const double t =
+          ForcedCutTime(queues_[k].front(), static_cast<QueryKind>(k));
+      if (t <= now_s && t < best) {
+        best = t;
+        cut_kind = k;
+      }
+    }
+  }
+  if (cut_kind < 0) return batch;
+  auto& queue = queues_[cut_kind];
+  const auto width =
+      static_cast<size_t>(KindWidth(static_cast<QueryKind>(cut_kind)));
+  const size_t take = std::min(queue.size(), width);
+  batch.kind = static_cast<QueryKind>(cut_kind);
+  batch.cut_s = now_s;
+  batch.queries.assign(queue.begin(), queue.begin() + take);
+  queue.erase(queue.begin(), queue.begin() + take);
+  pending_ -= take;
+  return batch;
+}
+
+}  // namespace flash::serving

@@ -1,0 +1,99 @@
+#ifndef FLASH_SERVING_SCHEDULER_H_
+#define FLASH_SERVING_SCHEDULER_H_
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/query.h"
+
+/// The request scheduler: admission control + batch cutting.
+///
+/// Pending queries wait in one FIFO per kind (only same-kind queries can
+/// share an engine pass). A batch is cut when either
+///   (a) a kind's queue reaches its coalescing width — kBfsDistance/kKHop
+///       share 64 frontier bits, kLandmark any number of cache lookups,
+///       kPpr nothing (width 1); or
+///   (b) the modelled clock reaches the *forced-cut time* of a kind's
+///       oldest query: enqueue + min(max_batch_wait, remaining deadline
+///       budget after the kind's estimated service time). Waiting past
+///       that point could only add batch-mates at the price of blowing
+///       the wait cap or the oldest query's deadline.
+/// Admission is a single bound over all kinds: at max_queue pending, new
+/// arrivals are shed with Status::OutOfRange — the caller always hears
+/// about it, nothing is dropped silently.
+///
+/// The scheduler is driven entirely by the modelled clock its caller
+/// passes in; it never reads wall time, which is what makes an identical
+/// query log replay identically (docs/SERVING.md, determinism contract).
+namespace flash::serving {
+
+struct SchedulerOptions {
+  /// Coalescing width cap W: the most same-kind queries one engine pass
+  /// carries. Kinds cap it further (64 frontier bits; PPR always 1).
+  int batch_window = 64;
+  /// Admission bound: total pending queries across kinds. At the bound,
+  /// Enqueue sheds with Status::OutOfRange.
+  size_t max_queue = 4096;
+  /// Longest a query may wait queued before its batch is cut, in modelled
+  /// seconds, deadline or not.
+  double max_batch_wait_s = 0.005;
+};
+
+/// A query waiting in (or cut from) the scheduler.
+struct PendingQuery {
+  Query query;
+  uint64_t id = 0;
+  double enqueue_s = 0;
+};
+
+/// One cut batch: same-kind queries that will share an engine pass.
+struct Batch {
+  QueryKind kind = QueryKind::kBfsDistance;
+  std::vector<PendingQuery> queries;
+  double cut_s = 0;  // Modelled time the scheduler released the batch.
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options);
+
+  /// The coalescing width of `kind` under these options.
+  int KindWidth(QueryKind kind) const;
+
+  /// Admits `q` at modelled time `now_s`, or sheds it (OutOfRange) when
+  /// the queue bound is hit. Admitted queries keep FIFO order per kind.
+  Status Enqueue(const PendingQuery& q);
+
+  /// Feeds the per-kind service-time estimate (EWMA maintained by the
+  /// server from executed batches) used in forced-cut deadline math.
+  void SetServiceEstimate(QueryKind kind, double seconds);
+
+  size_t PendingCount() const { return pending_; }
+  bool HasPending() const { return pending_ != 0; }
+
+  /// Earliest modelled time at which some queued query forces a cut;
+  /// +infinity when nothing is pending. Monotone in queue contents —
+  /// enqueues can only move it earlier.
+  double NextForcedCutTime() const;
+
+  /// Cuts and returns the next batch due at `now_s`: any kind at full
+  /// width first (checked in kind order — deterministic), else the kind
+  /// with the earliest forced-cut time <= now_s. Empty batch = nothing
+  /// due. Call in a loop; one call cuts at most one batch.
+  Batch CutDue(double now_s);
+
+ private:
+  double ForcedCutTime(const PendingQuery& oldest, QueryKind kind) const;
+
+  SchedulerOptions options_;
+  std::array<std::deque<PendingQuery>, kNumQueryKinds> queues_;
+  std::array<double, kNumQueryKinds> service_estimate_{};
+  size_t pending_ = 0;
+};
+
+}  // namespace flash::serving
+
+#endif  // FLASH_SERVING_SCHEDULER_H_

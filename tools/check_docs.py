@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Docs health check (CI: docs-health).
+
+Two invariants, both cheap and both prone to silent rot:
+
+1. Every intra-repo markdown link resolves to a real file. External links
+   (http/https/mailto) and pure anchors are skipped; `#fragment` suffixes
+   on file links are stripped before the existence check.
+
+2. Every public field of RuntimeOptions (src/flashware/options.h) is
+   mentioned by name in docs/API.md — the runtime-configuration reference
+   must not lag the struct (that drift is exactly what ISSUE 7 cleaned up).
+
+Exit status is the number of problems found (0 = healthy).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# [text](target) — target captured up to the matching ')'; images share the
+# syntax, so they are checked too. Code spans are stripped first.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+SKIP_DIRS = {".git", "build", "out", "third_party", "node_modules"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_links(root):
+    problems = []
+    for path in sorted(markdown_files(root)):
+        in_fence = False
+        for lineno, line in enumerate(
+                open(path, encoding="utf-8"), start=1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                base = root if rel.startswith("/") else os.path.dirname(path)
+                resolved = os.path.normpath(
+                    os.path.join(base, rel.lstrip("/")))
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{os.path.relpath(path, root)}:{lineno}: "
+                        f"broken link -> {target}")
+    return problems
+
+
+FIELD_RE = re.compile(
+    r"^\s*(?:[A-Za-z_][\w:<>,\s]*?[\s&*>])(\w+)\s*(?:=[^;]*)?;\s*$")
+
+
+def runtime_options_fields(options_h):
+    """Public data members of struct RuntimeOptions, in declaration order."""
+    fields = []
+    in_struct = False
+    depth = 0
+    for line in open(options_h, encoding="utf-8"):
+        stripped = line.split("//")[0]
+        if not in_struct:
+            if re.search(r"\bstruct\s+RuntimeOptions\b", stripped):
+                in_struct = True
+                depth = stripped.count("{") - stripped.count("}")
+            continue
+        depth += stripped.count("{") - stripped.count("}")
+        if depth < 0 or (depth == 0 and "};" in stripped):
+            break
+        m = FIELD_RE.match(stripped)
+        if m:
+            fields.append(m.group(1))
+    return fields
+
+
+def check_api_doc(root):
+    options_h = os.path.join(root, "src", "flashware", "options.h")
+    api_md = os.path.join(root, "docs", "API.md")
+    problems = []
+    if not os.path.exists(api_md):
+        return [f"missing {os.path.relpath(api_md, root)}"]
+    fields = runtime_options_fields(options_h)
+    if not fields:
+        return [f"could not parse RuntimeOptions fields from {options_h}"]
+    text = open(api_md, encoding="utf-8").read()
+    for field in fields:
+        if not re.search(rf"\b{re.escape(field)}\b", text):
+            problems.append(
+                f"docs/API.md: RuntimeOptions field `{field}` undocumented")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script's directory)")
+    args = parser.parse_args()
+
+    problems = check_links(args.root) + check_api_doc(args.root)
+    for p in problems:
+        print(p)
+    if not problems:
+        print("docs healthy: all markdown links resolve, "
+              "RuntimeOptions fully documented")
+    return min(len(problems), 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,12 @@
 //     --drop-rate=F       message-fragment drop probability in [0, 1)
 //     --crash=W@S         crash worker W at superstep S (repeatable)
 //     --ckpt-interval=N   supersteps between checkpoints (0 = auto)
+//   serving (algorithm name "serve"; see docs/SERVING.md):
+//     --serve-replay=FILE query log to replay (bfs|khop|landmark|ppr lines)
+//     --serve-batch=N     coalescing width W per batch        (default 64)
+//     --serve-queue=N     admission bound (pending queries)   (default 4096)
+//     --serve-wait-ms=F   max batch wait, modelled ms         (default 5)
+//     --serve-qps=F       offered load; 0 = submit all at t=0 (default 0)
 //   output:
 //     --output=FILE       write per-vertex results, one per line
 //     --metrics           print the run's superstep/communication metrics
@@ -38,7 +44,7 @@
 //
 // Algorithms: bfs sssp ssspdelta cc ccopt harmonic bc betweenness mis mm mmopt kcore kcoreopt
 //             tc gc scc bcc lpa msf rc kclique ktruss pagerank ppr
-//             clustering hits msbfs diameter bipartite topo densest
+//             clustering hits msbfs diameter bipartite topo densest serve
 
 #include <cmath>
 #include <cstdio>
@@ -49,6 +55,7 @@
 #include <string>
 
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <vector>
 
@@ -60,6 +67,7 @@
 #include "obs/exporters.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "serving/server.h"
 
 namespace flash::cli {
 namespace {
@@ -89,6 +97,11 @@ struct Args {
   double drop_rate = 0;
   int ckpt_interval = 0;
   std::vector<CrashEvent> crashes;
+  std::string serve_replay;
+  int serve_batch = 64;
+  int serve_queue = 4096;
+  double serve_wait_ms = 5.0;
+  double serve_qps = 0;
 
   bool WantsTrace() const {
     return !trace_out.empty() || !timeline_out.empty() || profile;
@@ -151,6 +164,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->metrics_out = v;
     } else if ((v = value("--timeline-out="))) {
       args->timeline_out = v;
+    } else if ((v = value("--serve-replay="))) {
+      args->serve_replay = v;
+    } else if ((v = value("--serve-batch="))) {
+      args->serve_batch = std::atoi(v);
+    } else if ((v = value("--serve-queue="))) {
+      args->serve_queue = std::atoi(v);
+    } else if ((v = value("--serve-wait-ms="))) {
+      args->serve_wait_ms = std::atof(v);
+    } else if ((v = value("--serve-qps="))) {
+      args->serve_qps = std::atof(v);
     } else if ((v = value("--drop-rate="))) {
       args->drop_rate = std::atof(v);
     } else if ((v = value("--ckpt-interval="))) {
@@ -243,9 +266,11 @@ RuntimeOptions MakeRuntime(const Args& args) {
 }
 
 /// Post-run exports: Chrome trace, Prometheus dump, timeline TSV, and the
-/// --profile slowest-span report.
+/// --profile slowest-span report. `serving` (serve mode only) adds the
+/// flash_serving_* counters to the Prometheus dump.
 int ExportObservability(const Args& args, const RuntimeOptions& options,
-                        const Metrics& metrics) {
+                        const Metrics& metrics,
+                        const serving::ServingStats* serving = nullptr) {
   obs::Tracer* tracer = options.tracer.get();
   if (tracer != nullptr) tracer->Fold();
   if (!args.trace_out.empty()) {
@@ -265,6 +290,7 @@ int ExportObservability(const Args& args, const RuntimeOptions& options,
   }
   if (!args.metrics_out.empty()) {
     obs::Registry registry = obs::BuildRegistry(metrics, &options);
+    if (serving != nullptr) serving->ExportTo(registry);
     Status s = obs::WritePrometheusFile(args.metrics_out, registry);
     if (!s.ok()) {
       std::fprintf(stderr, "cannot write %s: %s\n", args.metrics_out.c_str(),
@@ -295,6 +321,92 @@ int ExportObservability(const Args& args, const RuntimeOptions& options,
   return 0;
 }
 
+/// The "serve" mode: replay a query log through flash::serving::Server
+/// (docs/SERVING.md). Submissions are stamped with an offered-load clock
+/// (--serve-qps; 0 = one burst at t=0); latencies and throughput are
+/// modelled cluster time, not wall time.
+int RunServe(const Args& args, const GraphPtr& graph,
+             const RuntimeOptions& options) {
+  if (args.serve_replay.empty()) {
+    std::fprintf(stderr, "serve needs --serve-replay=FILE (query log)\n");
+    return 2;
+  }
+  std::ifstream in(args.serve_replay);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.serve_replay.c_str());
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto queries_or = serving::ParseQueryLog(text);
+  if (!queries_or.ok()) {
+    std::fprintf(stderr, "bad query log: %s\n",
+                 queries_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<serving::Query> queries =
+      std::move(queries_or).value();
+
+  serving::ServerOptions server_options;
+  server_options.scheduler.batch_window = args.serve_batch;
+  server_options.scheduler.max_queue =
+      static_cast<size_t>(std::max(1, args.serve_queue));
+  server_options.scheduler.max_batch_wait_s = args.serve_wait_ms * 1e-3;
+  server_options.cluster.nodes = options.num_workers;
+  serving::Server server(graph, options, server_options);
+
+  const double interarrival_s =
+      args.serve_qps > 0 ? 1.0 / args.serve_qps : 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto id_or =
+        server.Submit(queries[i], static_cast<double>(i) * interarrival_s);
+    if (!id_or.ok() && !id_or.status().IsOutOfRange()) {
+      std::fprintf(stderr, "query %zu rejected: %s\n", i,
+                   id_or.status().ToString().c_str());
+      return 1;
+    }
+  }
+  server.Drain();
+
+  const serving::ServingStats& stats = server.stats();
+  const LatencyStats latency = SummarizeLatencies(stats.latencies);
+  const double makespan =
+      stats.batch_log.empty() ? 0.0 : stats.batch_log.back().complete_s;
+  std::printf(
+      "serve: %llu submitted, %llu answered, %llu shed; %llu batches, "
+      "%llu engine passes\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.answered),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.engine_passes));
+  if (makespan > 0) {
+    std::printf("modelled: %.3f qps over %.3fs; latency %s\n",
+                static_cast<double>(stats.answered) / makespan, makespan,
+                latency.ToString().c_str());
+  }
+  for (const auto& [tenant, t] : stats.tenants) {
+    std::printf("  tenant %-12s submitted=%llu answered=%llu shed=%llu\n",
+                tenant.c_str(), static_cast<unsigned long long>(t.submitted),
+                static_cast<unsigned long long>(t.answered),
+                static_cast<unsigned long long>(t.shed));
+  }
+  if (!args.output.empty()) {
+    std::ofstream out(args.output);
+    out << "query_id\tkind\ttenant\tvalue\tlatency_s\tbatch_width\n";
+    for (const serving::Answer& a : server.answers()) {
+      out << a.query_id << "\t" << serving::QueryKindName(a.kind) << "\t"
+          << a.tenant << "\t" << a.value << "\t" << a.latency_s << "\t"
+          << a.batch_width << "\n";
+    }
+    std::printf("per-query answers written to %s\n", args.output.c_str());
+  }
+  if (args.metrics) {
+    std::printf("metrics: %s\n", stats.engine_metrics.ToString().c_str());
+  }
+  return ExportObservability(args, options, stats.engine_metrics, &stats);
+}
+
 template <typename T>
 void WriteVector(const std::string& path, const std::vector<T>& values) {
   if (path.empty()) return;
@@ -319,6 +431,9 @@ int Run(const Args& args) {
   const std::string& a = args.algorithm;
   Metrics metrics;
 
+  if (a == "serve") {
+    return RunServe(args, graph, options);
+  }
   if (a == "bfs") {
     auto r = algo::RunBfs(graph, args.root, options);
     uint64_t reached = 0;
