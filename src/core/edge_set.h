@@ -13,6 +13,17 @@
 
 namespace flash {
 
+/// Which physical adjacency direction an edge-set enumeration reads, so the
+/// engine can tell the paged storage backend which blocks a superstep will
+/// touch (GraphStorage::PlanBlocks / PlanSweep). kUnknown means the set's
+/// edges are not backed by a CSR direction (virtual/function sets) — the
+/// backend then plans nothing and serves any accesses on demand.
+enum class EdgeOrientation : uint8_t {
+  kOutEdges,
+  kInEdges,
+  kUnknown,
+};
+
 /// Edge-set algebra for EDGEMAP's H parameter (paper §III-A): the original
 /// edges E, reverse(E), two-hop joins join(E,E), membership-filtered sets
 /// join(E,U) / join(U,E), and function-defined *virtual* edge sets such as
@@ -52,6 +63,15 @@ class EdgeSet {
 
   virtual bool supports_push() const { return true; }
   virtual bool supports_pull() const { return true; }
+
+  /// Adjacency direction ForOut reads for a frontier vertex (push mode).
+  virtual EdgeOrientation push_source() const {
+    return EdgeOrientation::kUnknown;
+  }
+  /// Adjacency direction ForIn reads for a target vertex (pull mode).
+  virtual EdgeOrientation pull_source() const {
+    return EdgeOrientation::kUnknown;
+  }
 };
 
 template <typename VData>
@@ -106,6 +126,13 @@ class CsrEdgeSet final : public EdgeSet<VData> {
 
   bool is_subset_of_e() const override { return true; }
 
+  EdgeOrientation push_source() const override {
+    return reversed_ ? EdgeOrientation::kInEdges : EdgeOrientation::kOutEdges;
+  }
+  EdgeOrientation pull_source() const override {
+    return reversed_ ? EdgeOrientation::kOutEdges : EdgeOrientation::kInEdges;
+  }
+
  private:
   GraphPtr graph_;
   bool reversed_;
@@ -155,6 +182,16 @@ class TwoHopEdgeSet final : public EdgeSet<VData> {
 
   bool is_subset_of_e() const override { return false; }
 
+  // Two-hop enumeration starts from the frontier's first-hop adjacency in
+  // these directions; the mid-vertex hop demand-pages. A partial plan is
+  // still a correct plan (planning only affects load scheduling).
+  EdgeOrientation push_source() const override {
+    return EdgeOrientation::kOutEdges;
+  }
+  EdgeOrientation pull_source() const override {
+    return EdgeOrientation::kInEdges;
+  }
+
  private:
   GraphPtr graph_;
 };
@@ -201,6 +238,12 @@ class FilteredEdgeSet final : public EdgeSet<VData> {
   bool is_subset_of_e() const override { return base_->is_subset_of_e(); }
   bool supports_push() const override { return base_->supports_push(); }
   bool supports_pull() const override { return base_->supports_pull(); }
+  EdgeOrientation push_source() const override {
+    return base_->push_source();
+  }
+  EdgeOrientation pull_source() const override {
+    return base_->pull_source();
+  }
 
  private:
   EdgeSetPtr<VData> base_;

@@ -111,6 +111,17 @@ class GraphApi {
       if (injector_ != nullptr) injector_->SetTracer(tracer_.get());
       if (ckpt_ != nullptr) ckpt_->SetTracer(tracer_.get());
     }
+    // Storage tier: the backend drives the epoch protocol only for paged
+    // graphs; the in-memory backend's hooks are no-op virtuals never taken
+    // on the hot paths (storage_paged_ gates every call site).
+    storage_ = graph_->storage();
+    storage_paged_ = storage_->paged();
+    if (storage_paged_) {
+      storage_->ApplyRuntimeLimits(options_.edge_cache_bytes,
+                                   options_.storage_prefetch_depth,
+                                   options_.storage_dense_fraction);
+      storage_->SetTracer(tracer_.get());
+    }
   }
 
   GraphApi(const GraphApi&) = delete;
@@ -330,6 +341,16 @@ class GraphApi {
     const Bitset& ubits = DenseBitmap(U, &sample);
     const int num_workers = options_.num_workers;
     const int shards = options_.threads_per_worker;
+    if (storage_paged_) {
+      // Pull mode scans every master's in-adjacency (or out for reversed
+      // sets): declare a sweep so the backend can pick the M-Flash dense
+      // schedule when the frontier is large enough and the blocks fit.
+      const EdgeOrientation pull = H->pull_source();
+      if (pull != EdgeOrientation::kUnknown) {
+        storage_->PlanSweep(pull == EdgeOrientation::kOutEdges,
+                            U.TotalSize());
+      }
+    }
 
     std::vector<std::vector<VertexId>> out(num_workers);
     std::vector<std::vector<VertexId>> shard_out(num_workers * shards);
@@ -407,6 +428,22 @@ class GraphApi {
     const uint32_t mask = SyncMask();
     const int num_workers = options_.num_workers;
     const int shards = options_.threads_per_worker;
+    if (storage_paged_) {
+      // Push mode reads exactly the frontier's adjacency: declare it so the
+      // backend loads those blocks (sweep or prefetch) before the compute
+      // tasks demand them.
+      const EdgeOrientation push = H->push_source();
+      if (push != EdgeOrientation::kUnknown) {
+        frontier_scratch_.clear();
+        for (int w = 0; w < num_workers; ++w) {
+          const auto& owned = U.Owned(w);
+          frontier_scratch_.insert(frontier_scratch_.end(), owned.begin(),
+                                   owned.end());
+        }
+        storage_->PlanBlocks(frontier_scratch_,
+                             push == EdgeOrientation::kOutEdges);
+      }
+    }
 
     std::vector<std::vector<VertexId>> out(num_workers);
     std::vector<StepTally> task_tally(num_workers * shards);
@@ -1192,13 +1229,42 @@ class GraphApi {
     sample.msgs_total += bus_.LastMessages();
     UpdateWirePoolPeak();
 
+    if (storage_paged_) {
+      // Barrier: drain the storage epoch. EndEpoch completes every planned
+      // load, evicts to budget, and returns exactly the file bytes/blocks
+      // this superstep's epoch read — the I/O twin of the wire counters.
+      const EpochIo io = storage_->EndEpoch();
+      sample.storage_bytes = io.bytes;
+      sample.storage_blocks = io.blocks;
+      // Next superstep's frontier, flattened before `out` is consumed:
+      // handed to the prefetch pipeline below so block loads overlap the
+      // gap between supersteps.
+      frontier_scratch_.clear();
+      for (const auto& worker_out : out) {
+        frontier_scratch_.insert(frontier_scratch_.end(), worker_out.begin(),
+                                 worker_out.end());
+      }
+    }
+
     if (ckpt_ != nullptr) last_frontier_ = out;  // For the next snapshot.
     VertexSubset result =
         VertexSubset::FromWorkerLists(&partition_, std::move(out));
     sample.frontier_out = static_cast<uint32_t>(result.TotalSize());
     metrics_.AddStep(sample, options_.record_steps);
+    if (storage_paged_) {
+      // Snapshot the backend's lifetime counters at this quiesced point,
+      // BEFORE issuing the trailing prefetch — so Metrics::storage never
+      // depends on how far an in-flight prefetch got.
+      metrics_.storage = storage_->stats();
+    }
     ObsEndSuperstep(sample);
     SyncFaultStats();
+    if (storage_paged_ && !frontier_scratch_.empty()) {
+      // Asynchronous hint: the next superstep most often pushes along the
+      // new frontier's out-edges. Wrong guesses only cost an early load
+      // (billed to the epoch that drains it — still deterministic).
+      storage_->Prefetch(frontier_scratch_, /*out_dir=*/true);
+    }
     return result;
   }
 
@@ -1241,6 +1307,7 @@ class GraphApi {
   /// their redo logs. Runs between primitives, where no uncommitted state is
   /// pending, so recovery is exact. No-op without an active fault plan.
   void BeginSuperstep() {
+    if (storage_paged_) storage_->BeginEpoch();
     ObsBeginSuperstep();
     if (injector_ == nullptr) return;
     const uint64_t step = metrics_.supersteps;
@@ -1397,6 +1464,13 @@ class GraphApi {
   std::shared_ptr<obs::Tracer> tracer_;
   uint64_t obs_step_begin_ns_ = 0;
   bool obs_step_open_ = false;
+  // Storage tier: the graph's backend (owned by the graph, never null) and
+  // the cached paged() flag gating every epoch-protocol call site. The
+  // scratch list carries plan/prefetch frontier ids between barriers —
+  // driving thread only.
+  GraphStorage* storage_ = nullptr;
+  bool storage_paged_ = false;
+  std::vector<VertexId> frontier_scratch_;
 };
 
 }  // namespace flash

@@ -21,6 +21,7 @@ std::string ModeledTime::ToString() const {
   std::ostringstream out;
   out << total << "s (compute=" << compute << " comm=" << comm
       << " ser=" << serialize << " other=" << other;
+  if (io > 0) out << " io=" << io;
   if (recovery > 0) out << " recovery=" << recovery;
   out << ")";
   return out.str();
@@ -80,17 +81,33 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
                  config.nodes;
     }
 
+    // Storage tier: block-file bytes read this superstep, priced like wire
+    // traffic — sequential bandwidth plus per-request block latency. Zero
+    // for in-memory graphs, so their step_time is bit-identical to a build
+    // without the storage tier.
+    double io = 0;
+    if (step.storage_bytes > 0 || step.storage_blocks > 0) {
+      io = static_cast<double>(step.storage_bytes) /
+               config.storage_bytes_per_second +
+           static_cast<double>(step.storage_blocks) *
+               config.storage_block_latency_seconds;
+    }
+
     double step_time;
     if (config.overlap_comm_compute) {
-      step_time = std::max(compute, comm) + serialize;
+      // The prefetch pipeline overlaps block reads with compute the same
+      // way the bus overlaps network traffic: the slowest of the three
+      // resources gates the superstep.
+      step_time = std::max(compute, std::max(comm, io)) + serialize;
     } else {
-      step_time = compute + comm + serialize;
+      step_time = compute + comm + serialize + io;
     }
     step_time += config.barrier_seconds;
 
     result.compute += compute;
     result.comm += comm;
     result.serialize += serialize;
+    result.io += io;
     result.other += config.barrier_seconds;
     result.total += step_time;
   }

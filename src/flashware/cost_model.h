@@ -53,6 +53,13 @@ struct ClusterConfig {
   double relaxed_sync_seconds = 5e-6;
   double token_sweep_seconds = 40e-6;
 
+  // Storage-tier terms (engaged only when step samples carry nonzero
+  // storage bytes, i.e. the graph ran on the paged semi-external backend).
+  // Sequential NVMe-class bandwidth plus a fixed per-block request latency;
+  // block reads overlap compute exactly like network traffic does.
+  double storage_bytes_per_second = 2.5e9;
+  double storage_block_latency_seconds = 30e-6;
+
   /// Ratio of the modelled cluster core's speed to the host core that ran
   /// the simulation (measured per-superstep compute seconds are divided by
   /// this before pricing). 1.0 = same single-core speed.
@@ -90,6 +97,7 @@ struct ModeledTime {
   double serialize = 0;
   double other = 0;  // Barriers and bookkeeping.
   double recovery = 0;  // Checkpoint writes + crash restores + log replay.
+  double io = 0;  // Storage-tier block reads (paged backend only).
   double total = 0;
 
   std::string ToString() const;

@@ -66,6 +66,12 @@ void Metrics::Absorb(const Metrics& other) {
   async.comp_seconds_max += other.async.comp_seconds_max;
   async.comp_seconds_total += other.async.comp_seconds_total;
 
+  storage_bytes_read += other.storage_bytes_read;
+  storage_blocks_read += other.storage_blocks_read;
+  // Backend-lifetime counters: composed runs share one backend, so each
+  // snapshot supersedes the previous — element-wise max keeps the latest.
+  storage.MergeMax(other.storage);
+
   steps.insert(steps.end(), other.steps.begin(), other.steps.end());
 }
 
@@ -102,6 +108,7 @@ std::string Metrics::ToString() const {
       << " ser=" << serialize_seconds << " other=" << other_seconds << ")";
   if (fault.Any()) out << " fault[" << fault.ToString() << "]";
   if (async.Any()) out << " async[" << async.ToString() << "]";
+  if (storage.Any()) out << " storage[" << storage.ToString() << "]";
   return out.str();
 }
 

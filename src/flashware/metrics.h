@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/storage.h"
+
 namespace flash {
 
 /// Kind of primitive that ran a superstep; recorded in the trace.
@@ -36,6 +38,11 @@ struct StepSample {
   /// cost model prices cluster compute from these.
   double comp_max = 0;
   double comp_total = 0;
+  /// Edge-block file bytes/blocks read from the storage tier during this
+  /// superstep's epoch (paged backend only; zero for in-memory graphs).
+  /// Counted exactly like wire bytes: deterministic at any host threads.
+  uint64_t storage_bytes = 0;
+  uint64_t storage_blocks = 0;
 };
 
 /// Single-writer work tallies for one (worker, shard) compute task or one
@@ -151,6 +158,13 @@ struct Metrics {
   /// Async-engine counters (all zero for pure-BSP runs).
   AsyncStats async;
 
+  /// Storage-tier totals for this run (zero for in-memory graphs).
+  uint64_t storage_bytes_read = 0;
+  uint64_t storage_blocks_read = 0;
+  /// Lifetime counters of the run's storage backend, snapshotted at the
+  /// last superstep barrier (quiesced — trailing prefetch never leaks in).
+  StorageStats storage;
+
   /// Per-superstep counter samples (present when
   /// RuntimeOptions::record_steps). Distinct from the obs/ span *tracer*
   /// (RuntimeOptions::trace): steps are exact counters folded at barriers
@@ -166,6 +180,8 @@ struct Metrics {
     bytes += sample.bytes_total;
     if (sample.kind == StepKind::kEdgeMapDense) ++dense_steps;
     if (sample.kind == StepKind::kEdgeMapSparse) ++sparse_steps;
+    storage_bytes_read += sample.storage_bytes;
+    storage_blocks_read += sample.storage_blocks;
     if (record_steps) steps.push_back(sample);
   }
 

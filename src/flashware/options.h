@@ -108,6 +108,22 @@ struct RuntimeOptions {
   /// true, the engine owns a private tracer reachable via GraphApi::tracer().
   std::shared_ptr<obs::Tracer> tracer;
 
+  /// Block-cache budget for graphs on the paged (semi-external) storage
+  /// backend, in bytes; 0 keeps the backend's configured budget. Enforced
+  /// at superstep barriers; ignored by in-memory graphs. Affects only I/O
+  /// volume and modelled time, never results.
+  uint64_t edge_cache_bytes = 0;
+
+  /// Max edge blocks handed to the paged backend's async prefetch pipeline
+  /// per superstep. -1 keeps the backend's configured depth; 0 disables
+  /// prefetch (demand paging only). Ignored by in-memory graphs.
+  int storage_prefetch_depth = -1;
+
+  /// Planned-block coverage fraction at which the paged backend switches
+  /// from sparse (demand + prefetch) to dense (sweep in file order) block
+  /// scheduling. Negative keeps the backend's configured fraction.
+  double storage_dense_fraction = -1.0;
+
   /// Adversity the run must survive: seeded message drop/duplication/
   /// reordering on the bus plus scheduled worker crashes with checkpoint
   /// recovery. The default (inactive) plan adds no hooks and leaves wire

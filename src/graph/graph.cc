@@ -4,6 +4,46 @@
 
 namespace flash {
 
+Graph::Graph()
+    : storage_(std::make_shared<InMemoryStorage>(InMemoryStorage::Csr{})) {
+  CacheStoragePointers();
+}
+
+void Graph::CacheStoragePointers() {
+  paged_ = storage_->paged();
+  out_off_ = storage_->out_offsets().data();
+  in_off_ = storage_->in_offsets().data();
+  const auto* out_tgt = storage_->out_targets_vec();
+  const auto* in_src = storage_->in_sources_vec();
+  const auto* out_w = storage_->out_weights_vec();
+  const auto* in_w = storage_->in_weights_vec();
+  out_tgt_ = out_tgt ? out_tgt->data() : nullptr;
+  in_src_ = in_src ? in_src->data() : nullptr;
+  out_w_ = out_w ? out_w->data() : nullptr;
+  in_w_ = in_w ? in_w->data() : nullptr;
+}
+
+Result<GraphPtr> Graph::WithStorage(std::shared_ptr<GraphStorage> storage,
+                                    bool symmetric, bool weighted) {
+  if (storage == nullptr) {
+    return Status::InvalidArgument("Graph::WithStorage: null storage");
+  }
+  const auto& out_offsets = storage->out_offsets();
+  const auto& in_offsets = storage->in_offsets();
+  if (out_offsets.empty() || out_offsets.size() != in_offsets.size()) {
+    return Status::InvalidArgument(
+        "Graph::WithStorage: malformed offset arrays");
+  }
+  auto graph = std::make_shared<Graph>();
+  graph->num_vertices_ = static_cast<VertexId>(out_offsets.size() - 1);
+  graph->num_edges_ = out_offsets.back();
+  graph->symmetric_ = symmetric;
+  graph->weighted_ = weighted;
+  graph->storage_ = std::move(storage);
+  graph->CacheStoragePointers();
+  return GraphPtr(graph);
+}
+
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   auto nbrs = OutNeighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
@@ -53,54 +93,49 @@ Result<GraphPtr> GraphBuilder::Build(const BuildOptions& options) {
                 edges.end());
   }
 
-  auto graph = std::make_shared<Graph>();
-  graph->num_vertices_ = n;
-  graph->symmetric_ = options.symmetrize;
-  graph->weighted_ = options.keep_weights;
-
+  InMemoryStorage::Csr csr;
   const EdgeId m = static_cast<EdgeId>(edges.size());
-  graph->out_offsets_.assign(n + 1, 0);
-  graph->out_targets_.resize(m);
-  if (options.keep_weights) graph->out_weights_.resize(m);
+  csr.out_offsets.assign(n + 1, 0);
+  csr.out_targets.resize(m);
+  if (options.keep_weights) csr.out_weights.resize(m);
 
   for (const Edge& e : edges) {
     if (e.src >= n || e.dst >= n) {
       return Status::InvalidArgument("edge endpoint exceeds num_vertices");
     }
-    ++graph->out_offsets_[e.src + 1];
+    ++csr.out_offsets[e.src + 1];
   }
   for (VertexId v = 0; v < n; ++v) {
-    graph->out_offsets_[v + 1] += graph->out_offsets_[v];
+    csr.out_offsets[v + 1] += csr.out_offsets[v];
   }
   {
-    std::vector<EdgeId> cursor(graph->out_offsets_.begin(),
-                               graph->out_offsets_.end() - 1);
+    std::vector<EdgeId> cursor(csr.out_offsets.begin(),
+                               csr.out_offsets.end() - 1);
     for (const Edge& e : edges) {
       EdgeId slot = cursor[e.src]++;
-      graph->out_targets_[slot] = e.dst;
-      if (options.keep_weights) graph->out_weights_[slot] = e.weight;
+      csr.out_targets[slot] = e.dst;
+      if (options.keep_weights) csr.out_weights[slot] = e.weight;
     }
   }
 
   // In-CSR from a counting pass over the out-CSR.
-  graph->in_offsets_.assign(n + 1, 0);
-  graph->in_sources_.resize(m);
-  if (options.keep_weights) graph->in_weights_.resize(m);
-  for (VertexId dst : graph->out_targets_) ++graph->in_offsets_[dst + 1];
+  csr.in_offsets.assign(n + 1, 0);
+  csr.in_sources.resize(m);
+  if (options.keep_weights) csr.in_weights.resize(m);
+  for (VertexId dst : csr.out_targets) ++csr.in_offsets[dst + 1];
   for (VertexId v = 0; v < n; ++v) {
-    graph->in_offsets_[v + 1] += graph->in_offsets_[v];
+    csr.in_offsets[v + 1] += csr.in_offsets[v];
   }
   {
-    std::vector<EdgeId> cursor(graph->in_offsets_.begin(),
-                               graph->in_offsets_.end() - 1);
+    std::vector<EdgeId> cursor(csr.in_offsets.begin(),
+                               csr.in_offsets.end() - 1);
     for (VertexId u = 0; u < n; ++u) {
-      for (EdgeId e = graph->out_offsets_[u]; e < graph->out_offsets_[u + 1];
-           ++e) {
-        VertexId dst = graph->out_targets_[e];
+      for (EdgeId e = csr.out_offsets[u]; e < csr.out_offsets[u + 1]; ++e) {
+        VertexId dst = csr.out_targets[e];
         EdgeId slot = cursor[dst]++;
-        graph->in_sources_[slot] = u;
+        csr.in_sources[slot] = u;
         if (options.keep_weights) {
-          graph->in_weights_[slot] = graph->out_weights_[e];
+          csr.in_weights[slot] = csr.out_weights[e];
         }
       }
     }
@@ -108,7 +143,8 @@ Result<GraphPtr> GraphBuilder::Build(const BuildOptions& options) {
 
   // In-sources come out sorted because the filling pass scans sources in
   // ascending order; no extra sort needed.
-  return GraphPtr(graph);
+  return Graph::WithStorage(std::make_shared<InMemoryStorage>(std::move(csr)),
+                            options.symmetrize, options.keep_weights);
 }
 
 }  // namespace flash

@@ -5,16 +5,17 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "graph/storage.h"
 
 namespace flash {
 
-/// Vertex identifiers are dense integers in [0, NumVertices()).
-using VertexId = uint32_t;
-using EdgeId = uint64_t;
+// VertexId / EdgeId live in graph/storage.h; vertex identifiers are dense
+// integers in [0, NumVertices()).
 
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
 
@@ -30,92 +31,152 @@ inline bool operator==(const Edge& a, const Edge& b) {
   return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
 }
 
+class Graph;
+using GraphPtr = std::shared_ptr<const Graph>;
+
 /// Immutable directed property graph in CSR form, with both out- and
 /// in-adjacency so that pull-mode (EDGEMAPDENSE) and `reverse(E)` edge sets
 /// are O(1) to obtain. Vertices carry no intrinsic properties here; algorithm
 /// state lives in the runtime's vertex stores.
 ///
+/// Adjacency is served by a GraphStorage backend (graph/storage.h). For the
+/// default in-memory backend the accessors below compile to the same raw
+/// pointer arithmetic as before — the cached `*_ptr_` members bypass the
+/// vtable entirely. For the paged backend (graph/paged_storage.h) only the
+/// offsets are cached; neighbor spans route through the backend, which pages
+/// the owning edge block in. Paged spans stay valid until the engine's next
+/// superstep barrier.
+///
 /// Undirected graphs are represented symmetrically (each undirected edge is
 /// stored in both directions) and flag is_symmetric().
 class Graph {
  public:
-  Graph() = default;
+  Graph();
+
+  /// Wraps an arbitrary storage backend. Both offset arrays must have the
+  /// same (vertex count + 1) length; the edge count is taken from
+  /// storage->out_offsets().back().
+  static Result<GraphPtr> WithStorage(std::shared_ptr<GraphStorage> storage,
+                                      bool symmetric, bool weighted);
 
   VertexId NumVertices() const { return num_vertices_; }
-  EdgeId NumEdges() const { return static_cast<EdgeId>(out_targets_.size()); }
+  EdgeId NumEdges() const { return num_edges_; }
   bool is_symmetric() const { return symmetric_; }
   bool is_weighted() const { return weighted_; }
 
+  /// The backing store. Never null. The engine uses this to drive the epoch
+  /// protocol; everything else should go through the accessors below.
+  GraphStorage* storage() const { return storage_.get(); }
+  bool is_paged() const { return paged_; }
+
   uint32_t OutDegree(VertexId v) const {
     FLASH_DCHECK(v < num_vertices_);
-    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+    return static_cast<uint32_t>(out_off_[v + 1] - out_off_[v]);
   }
   uint32_t InDegree(VertexId v) const {
     FLASH_DCHECK(v < num_vertices_);
-    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+    return static_cast<uint32_t>(in_off_[v + 1] - in_off_[v]);
   }
   /// Degree in the undirected sense for symmetric graphs; OutDegree otherwise.
   uint32_t Degree(VertexId v) const { return OutDegree(v); }
 
   std::span<const VertexId> OutNeighbors(VertexId v) const {
     FLASH_DCHECK(v < num_vertices_);
-    return {out_targets_.data() + out_offsets_[v],
-            out_targets_.data() + out_offsets_[v + 1]};
+    if (!paged_) {
+      return {out_tgt_ + out_off_[v], out_tgt_ + out_off_[v + 1]};
+    }
+    if (out_off_[v] == out_off_[v + 1]) return {};
+    return storage_->OutNeighbors(v);
   }
   std::span<const VertexId> InNeighbors(VertexId v) const {
     FLASH_DCHECK(v < num_vertices_);
-    return {in_sources_.data() + in_offsets_[v],
-            in_sources_.data() + in_offsets_[v + 1]};
+    if (!paged_) {
+      return {in_src_ + in_off_[v], in_src_ + in_off_[v + 1]};
+    }
+    if (in_off_[v] == in_off_[v + 1]) return {};
+    return storage_->InNeighbors(v);
   }
 
   /// Weights aligned with OutNeighbors(v) / InNeighbors(v). Only valid when
   /// is_weighted().
   std::span<const float> OutWeights(VertexId v) const {
     FLASH_DCHECK(weighted_);
-    return {out_weights_.data() + out_offsets_[v],
-            out_weights_.data() + out_offsets_[v + 1]};
+    if (!paged_) {
+      return {out_w_ + out_off_[v], out_w_ + out_off_[v + 1]};
+    }
+    if (out_off_[v] == out_off_[v + 1]) return {};
+    return storage_->OutWeights(v);
   }
   std::span<const float> InWeights(VertexId v) const {
     FLASH_DCHECK(weighted_);
-    return {in_weights_.data() + in_offsets_[v],
-            in_weights_.data() + in_offsets_[v + 1]};
+    if (!paged_) {
+      return {in_w_ + in_off_[v], in_w_ + in_off_[v + 1]};
+    }
+    if (in_off_[v] == in_off_[v + 1]) return {};
+    return storage_->InWeights(v);
   }
 
   /// True if the directed edge (u, v) exists. O(log deg) via binary search
   /// (adjacency lists are sorted by Build).
   bool HasEdge(VertexId u, VertexId v) const;
 
-  /// Enumerates all edges as (src, dst, weight) triples in CSR order.
+  /// Enumerates all edges as (src, dst, weight) triples in CSR order. On the
+  /// paged backend this streams blocks sequentially without populating the
+  /// cache (counted as StorageStats::stream_bytes).
   template <typename Fn>
   void ForEachEdge(Fn&& fn) const {
+    if (paged_) {
+      storage_->ForEachOutEdge(
+          [&fn](VertexId u, VertexId v, float w) { fn(u, v, w); });
+      return;
+    }
     for (VertexId u = 0; u < num_vertices_; ++u) {
-      for (EdgeId e = out_offsets_[u]; e < out_offsets_[u + 1]; ++e) {
-        fn(u, out_targets_[e], weighted_ ? out_weights_[e] : 1.0f);
+      for (EdgeId e = out_off_[u]; e < out_off_[u + 1]; ++e) {
+        fn(u, out_tgt_[e], weighted_ ? out_w_[e] : 1.0f);
       }
     }
   }
 
-  const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
-  const std::vector<VertexId>& out_targets() const { return out_targets_; }
-  const std::vector<EdgeId>& in_offsets() const { return in_offsets_; }
-  const std::vector<VertexId>& in_sources() const { return in_sources_; }
+  const std::vector<EdgeId>& out_offsets() const {
+    return storage_->out_offsets();
+  }
+  const std::vector<EdgeId>& in_offsets() const {
+    return storage_->in_offsets();
+  }
+  /// Raw CSR target/source vectors. Only the in-memory backend keeps these;
+  /// calling them on a paged graph is a programming error (FLASH_CHECK).
+  const std::vector<VertexId>& out_targets() const {
+    const auto* vec = storage_->out_targets_vec();
+    FLASH_CHECK(vec != nullptr) << "out_targets() needs in-memory storage";
+    return *vec;
+  }
+  const std::vector<VertexId>& in_sources() const {
+    const auto* vec = storage_->in_sources_vec();
+    FLASH_CHECK(vec != nullptr) << "in_sources() needs in-memory storage";
+    return *vec;
+  }
 
  private:
-  friend class GraphBuilder;
+  /// Refreshes the raw-pointer fast path from storage_.
+  void CacheStoragePointers();
 
   VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
   bool symmetric_ = false;
   bool weighted_ = false;
+  bool paged_ = false;
 
-  std::vector<EdgeId> out_offsets_;     // size num_vertices_ + 1
-  std::vector<VertexId> out_targets_;   // size NumEdges()
-  std::vector<float> out_weights_;      // size NumEdges() iff weighted
-  std::vector<EdgeId> in_offsets_;
-  std::vector<VertexId> in_sources_;
-  std::vector<float> in_weights_;
+  std::shared_ptr<GraphStorage> storage_;
+
+  // Cached views into storage_. Offsets are RAM-resident for every backend;
+  // targets/sources/weights only for the in-memory one (null when paged).
+  const EdgeId* out_off_ = nullptr;
+  const EdgeId* in_off_ = nullptr;
+  const VertexId* out_tgt_ = nullptr;
+  const VertexId* in_src_ = nullptr;
+  const float* out_w_ = nullptr;
+  const float* in_w_ = nullptr;
 };
-
-using GraphPtr = std::shared_ptr<const Graph>;
 
 /// Options controlling GraphBuilder::Build.
 struct BuildOptions {

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "graph/paged_storage.h"
 
 namespace flash {
 
@@ -25,6 +26,24 @@ Status SaveBinaryFile(const Graph& graph, const std::string& path);
 
 /// Loads a graph written by SaveBinaryFile.
 Result<GraphPtr> LoadBinaryFile(const std::string& path);
+
+/// Options for SaveBlockFile.
+struct BlockFileOptions {
+  /// Nominal decoded payload bytes per edge block. Blocks are vertex-aligned:
+  /// a block closes once it reaches this size, except that a single vertex's
+  /// adjacency never splits (hubs get one oversized block).
+  uint64_t block_payload_bytes = 64 * 1024;
+};
+
+/// Writes the graph as a paged edge-block file ("FLSHBLK1"; format in
+/// graph/paged_storage.h) for the semi-external PagedStorage backend.
+Status SaveBlockFile(const Graph& graph, const std::string& path,
+                     const BlockFileOptions& options = {});
+
+/// Opens a block file written by SaveBlockFile as a paged Graph: offsets in
+/// RAM, adjacency blocks demand-paged from disk through an LRU cache.
+Result<GraphPtr> OpenPagedGraph(const std::string& path,
+                                const PagedOptions& options = {});
 
 }  // namespace flash
 

@@ -181,6 +181,34 @@ Registry BuildRegistry(const flash::Metrics& metrics,
               "Redo-log vertex records reapplied");
   reg.Counter("flash_replay_bytes_total", f.replayed_bytes,
               "Redo-log bytes consumed by replays");
+  // Storage-tier counters (paged semi-external backend). The per-run pair
+  // sums the superstep epoch deltas; the rest snapshot the backend's
+  // lifetime StorageStats at the last barrier. All zero (and the lifetime
+  // block suppressed) for in-memory graphs.
+  reg.Counter("flash_storage_bytes_read_total", metrics.storage_bytes_read,
+              "Edge-block file bytes read during this run's supersteps");
+  reg.Counter("flash_storage_blocks_read_total", metrics.storage_blocks_read,
+              "Edge blocks loaded during this run's supersteps");
+  if (metrics.storage.Any()) {
+    const StorageStats& st = metrics.storage;
+    reg.Counter("flash_storage_accesses_total", st.accesses,
+                "Adjacency span requests served by the paged backend");
+    reg.Counter("flash_storage_stream_bytes_total", st.stream_bytes,
+                "Cache-bypassing sequential edge-scan bytes");
+    reg.Counter("flash_storage_prefetch_issued_total", st.prefetch_issued,
+                "Edge blocks enqueued to the async prefetch pipeline");
+    reg.Counter("flash_storage_evictions_total", st.evictions,
+                "Edge blocks evicted at superstep barriers");
+    reg.Counter("flash_storage_epochs_total", st.epochs,
+                "Storage epochs opened (one per superstep)");
+    reg.Counter("flash_storage_dense_plans_total", st.dense_plans,
+                "Epochs scheduled as a dense sweep load");
+    reg.Counter("flash_storage_sparse_plans_total", st.sparse_plans,
+                "Epochs scheduled as demand paging + prefetch");
+    reg.Gauge("flash_storage_peak_resident_bytes",
+              static_cast<double>(st.peak_resident_bytes),
+              "Peak cached block bytes observed at a barrier");
+  }
   if (options != nullptr) {
     reg.Gauge("flash_workers", options->num_workers, "Simulated workers");
     reg.Gauge("flash_threads_per_worker", options->threads_per_worker,

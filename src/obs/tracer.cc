@@ -20,6 +20,7 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kInstant: return "instant";
     case SpanKind::kAsyncRound: return "async_round";
     case SpanKind::kTokenSweep: return "token_sweep";
+    case SpanKind::kStorage: return "storage";
   }
   return "?";
 }

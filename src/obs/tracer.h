@@ -43,6 +43,8 @@ enum class SpanKind : uint8_t {
   kInstant,     // Zero-duration event (fault injections).
   kAsyncRound,  // One relaxed micro-round of the async engine (host lane).
   kTokenSweep,  // Termination-detection token circuit (host lane).
+  kStorage,     // Paged-storage block read (demand loads; arg0=block id,
+                // arg1=stored bytes).
 };
 
 const char* SpanKindName(SpanKind kind);

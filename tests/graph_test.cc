@@ -248,6 +248,113 @@ TEST(GraphIo, MissingFileIsIOError) {
   EXPECT_TRUE(result.status().IsIOError());
 }
 
+// --- Dual-backend parameterized suite -------------------------------------
+//
+// Every Graph accessor must behave identically whether the adjacency lives
+// in the in-memory CSR or behind the paged block store. The fixture routes
+// the same built graph through the requested backend.
+
+class GraphBackend : public ::testing::TestWithParam<const char*> {
+ protected:
+  GraphPtr Backend(const GraphPtr& mem) {
+    if (std::string(GetParam()) == "mem") return mem;
+    std::string path = (std::filesystem::temp_directory_path() /
+                        ("flash_backend_test_" + std::to_string(paths_.size()) +
+                         ".fblk"))
+                           .string();
+    BlockFileOptions options;
+    options.block_payload_bytes = 512;  // Force multiple blocks.
+    EXPECT_TRUE(SaveBlockFile(*mem, path, options).ok());
+    paths_.push_back(path);
+    return OpenPagedGraph(path).value();
+  }
+
+  void TearDown() override {
+    for (const std::string& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_P(GraphBackend, CsrAccessorsMatchHandBuiltGraph) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(2, 3);
+  GraphPtr graph = Backend(builder.Build(BuildOptions{}).value());
+  EXPECT_EQ(graph->NumVertices(), 4u);
+  EXPECT_EQ(graph->NumEdges(), 3u);
+  EXPECT_EQ(graph->OutDegree(0), 2u);
+  EXPECT_EQ(graph->InDegree(3), 1u);
+  auto nbrs = graph->OutNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(nbrs.begin(), nbrs.end()),
+            (std::vector<VertexId>{1, 2}));
+  auto in3 = graph->InNeighbors(3);
+  EXPECT_EQ(in3[0], 2u);
+  EXPECT_TRUE(graph->HasEdge(0, 2));
+  EXPECT_FALSE(graph->HasEdge(2, 0));
+  EXPECT_EQ(graph->is_paged(), std::string(GetParam()) == "paged");
+}
+
+TEST_P(GraphBackend, AdjacencyAndOffsetsMatchOnGeneratedGraph) {
+  RmatOptions opt;
+  opt.scale = 9;
+  opt.avg_degree = 8;
+  opt.symmetrize = true;
+  GraphPtr mem = GenerateRmat(opt).value();
+  GraphPtr graph = Backend(mem);
+  ASSERT_EQ(graph->NumVertices(), mem->NumVertices());
+  ASSERT_EQ(graph->NumEdges(), mem->NumEdges());
+  EXPECT_EQ(graph->out_offsets(), mem->out_offsets());
+  EXPECT_EQ(graph->in_offsets(), mem->in_offsets());
+  for (VertexId v = 0; v < mem->NumVertices(); ++v) {
+    auto a = mem->OutNeighbors(v);
+    auto b = graph->OutNeighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+              std::vector<VertexId>(b.begin(), b.end()))
+        << "vertex " << v;
+    auto ia = mem->InNeighbors(v);
+    auto ib = graph->InNeighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(ia.begin(), ia.end()),
+              std::vector<VertexId>(ib.begin(), ib.end()))
+        << "vertex " << v;
+  }
+}
+
+TEST_P(GraphBackend, ForEachEdgeEnumeratesInCsrOrder) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.avg_degree = 6;
+  GraphPtr mem = GenerateRmat(opt).value();
+  GraphPtr graph = Backend(mem);
+  std::vector<std::pair<VertexId, VertexId>> expect;
+  mem->ForEachEdge(
+      [&](VertexId u, VertexId v, float) { expect.emplace_back(u, v); });
+  std::vector<std::pair<VertexId, VertexId>> got;
+  graph->ForEachEdge(
+      [&](VertexId u, VertexId v, float) { got.emplace_back(u, v); });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(GraphBackend, WeightsSurviveTheBackend) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 2.5f);
+  builder.AddEdge(1, 2, 7.25f);
+  BuildOptions opt;
+  opt.keep_weights = true;
+  GraphPtr graph = Backend(builder.Build(opt).value());
+  EXPECT_TRUE(graph->is_weighted());
+  EXPECT_EQ(graph->OutWeights(0)[0], 2.5f);
+  EXPECT_EQ(graph->OutWeights(1)[0], 7.25f);
+  EXPECT_EQ(graph->InWeights(2)[0], 7.25f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GraphBackend,
+                         ::testing::Values("mem", "paged"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
 TEST(Datasets, AllSixTwinsBuild) {
   for (const auto& abbr : DatasetAbbrs()) {
     auto info = MakeDataset(abbr, /*scale=*/0.05).value();

@@ -1,0 +1,415 @@
+// Semi-external storage tier: block-file round-trips, exact byte
+// accounting, LRU eviction at barriers, and the dual-backend matrix —
+// every algorithm result and every deterministic counter must be
+// bit-identical whether the edges live in RAM (InMemoryStorage) or on
+// disk behind the paged LRU cache (PagedStorage), at any host_threads
+// and with a cache smaller than the edge file.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/paged_storage.h"
+#include "graph/storage.h"
+#include "tests/test_util.h"
+
+namespace flash {
+namespace {
+
+/// A block file on disk, deleted when the fixture goes away.
+class TempBlockFile {
+ public:
+  TempBlockFile(const Graph& graph, uint64_t block_payload_bytes,
+                const char* tag) {
+    path_ = std::string("/tmp/flash_storage_test_") + tag + "_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(block_payload_bytes) + ".fblk";
+    BlockFileOptions options;
+    options.block_payload_bytes = block_payload_bytes;
+    Status st = SaveBlockFile(graph, path_, options);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  ~TempBlockFile() { std::remove(path_.c_str()); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+GraphPtr TestGraph(bool weighted = false) {
+  auto make = [](bool w) {
+    RmatOptions options;
+    options.scale = 11;
+    options.avg_degree = 16.0;
+    options.symmetrize = true;
+    options.weighted = w;
+    options.seed = 42;
+    return GenerateRmat(options).value();
+  };
+  static GraphPtr plain = make(false);
+  static GraphPtr heavy = make(true);
+  return weighted ? heavy : plain;
+}
+
+/// First vertex with outgoing edges — a BFS/SSSP root that actually pages.
+VertexId RootWithEdges(const Graph& g) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.OutDegree(v) > 0) return v;
+  }
+  return 0;
+}
+
+void ExpectSameAdjacency(const Graph& mem, const Graph& paged) {
+  ASSERT_EQ(mem.NumVertices(), paged.NumVertices());
+  ASSERT_EQ(mem.NumEdges(), paged.NumEdges());
+  ASSERT_EQ(mem.is_weighted(), paged.is_weighted());
+  for (VertexId v = 0; v < mem.NumVertices(); ++v) {
+    auto mo = mem.OutNeighbors(v);
+    auto po = paged.OutNeighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(mo.begin(), mo.end()),
+              std::vector<VertexId>(po.begin(), po.end()))
+        << "out adjacency of " << v;
+    auto mi = mem.InNeighbors(v);
+    auto pi = paged.InNeighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(mi.begin(), mi.end()),
+              std::vector<VertexId>(pi.begin(), pi.end()))
+        << "in adjacency of " << v;
+    if (mem.is_weighted()) {
+      auto mw = mem.OutWeights(v);
+      auto pw = paged.OutWeights(v);
+      ASSERT_EQ(std::vector<float>(mw.begin(), mw.end()),
+                std::vector<float>(pw.begin(), pw.end()))
+          << "out weights of " << v;
+    }
+  }
+}
+
+// --- Round trips across page sizes x prefetch depths ----------------------
+
+class RoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, bool>> {};
+
+TEST_P(RoundTrip, AdjacencyIdenticalAndBytesExact) {
+  const auto [block_bytes, depth, weighted] = GetParam();
+  GraphPtr mem = TestGraph(weighted);
+  TempBlockFile file(*mem, block_bytes, weighted ? "w" : "u");
+
+  PagedOptions options;
+  options.prefetch_depth = depth;
+  auto paged = OpenPagedGraph(file.path(), options);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  GraphPtr pg = *paged;
+  ASSERT_TRUE(pg->is_paged());
+
+  ExpectSameAdjacency(*mem, *pg);
+
+  // Every vertex in both directions was touched exactly once above, so the
+  // cold demand-read bytes equal the file's total stored block bytes.
+  auto* storage = static_cast<PagedStorage*>(pg->storage());
+  EXPECT_EQ(storage->stats().bytes_read, storage->total_block_bytes());
+  const uint64_t blocks = storage->block_index(true).size() +
+                          storage->block_index(false).size();
+  EXPECT_EQ(storage->stats().blocks_read, blocks);
+
+  // Re-reading everything is free: the default 64 MiB budget holds the
+  // whole test file, so the working set stays resident.
+  const uint64_t cold = storage->stats().bytes_read;
+  ExpectSameAdjacency(*mem, *pg);
+  EXPECT_EQ(storage->stats().bytes_read, cold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PageSizesAndDepths, RoundTrip,
+    ::testing::Combine(::testing::Values(uint64_t{4} << 10, uint64_t{64} << 10,
+                                         uint64_t{1} << 20),
+                       ::testing::Values(0, 1, 8),
+                       ::testing::Values(false, true)),
+    [](const auto& info) {
+      return "block" + std::to_string(std::get<0>(info.param) >> 10) +
+             "k_depth" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_weighted" : "_unweighted");
+    });
+
+TEST(StorageTier, PartialTouchReadsExactlyTheTouchedBlocks) {
+  GraphPtr mem = TestGraph();
+  TempBlockFile file(*mem, 4 << 10, "partial");
+  auto paged = OpenPagedGraph(file.path());
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  GraphPtr pg = *paged;
+  auto* storage = static_cast<PagedStorage*>(pg->storage());
+
+  // Touch one edge-bearing vertex in every third out-block: the bytes read
+  // must be exactly the sum of those blocks' stored bytes. (A zero-degree
+  // vertex would early-out without I/O, so pick one with edges.)
+  const std::vector<BlockMeta>& metas = storage->block_index(true);
+  ASSERT_GT(metas.size(), 3u) << "graph too small for a partial-touch test";
+  const std::vector<EdgeId>& offsets = pg->out_offsets();
+  uint64_t expected = 0;
+  VertexId touched = kInvalidVertex;
+  for (size_t b = 0; b < metas.size(); b += 3) {
+    for (VertexId v = metas[b].first_vertex;
+         v < metas[b].first_vertex + metas[b].vertex_count; ++v) {
+      if (offsets[v + 1] > offsets[v]) {
+        (void)pg->OutNeighbors(v);
+        expected += metas[b].stored_bytes;
+        touched = v;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(storage->stats().bytes_read, expected);
+
+  // Touching the same vertex again hits the resident block: no new bytes.
+  ASSERT_NE(touched, kInvalidVertex);
+  (void)pg->OutNeighbors(touched);
+  EXPECT_EQ(storage->stats().bytes_read, expected);
+}
+
+TEST(StorageTier, ZeroDegreeVertexCostsNoIo) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  GraphPtr mem = builder.Build().value();
+  TempBlockFile file(*mem, 4 << 10, "zdeg");
+  auto paged = OpenPagedGraph(file.path());
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  GraphPtr pg = *paged;
+  EXPECT_TRUE(pg->OutNeighbors(3).empty());
+  EXPECT_TRUE(pg->InNeighbors(0).empty());
+  auto* storage = static_cast<PagedStorage*>(pg->storage());
+  EXPECT_EQ(storage->stats().bytes_read, 0u);
+  EXPECT_EQ(storage->stats().accesses, 0u);
+}
+
+// --- Epoch machinery: eviction, prefetch, plan invariance -----------------
+
+TEST(StorageTier, EvictionEnforcesBudgetAtBarriers) {
+  GraphPtr mem = TestGraph();
+  TempBlockFile file(*mem, 4 << 10, "evict");
+  PagedOptions options;
+  options.cache_bytes = 16 << 10;  // Far below the file's block bytes.
+  auto storage_or = PagedStorage::Open(file.path(), options);
+  ASSERT_TRUE(storage_or.ok()) << storage_or.status().ToString();
+  std::shared_ptr<PagedStorage> storage = *storage_or;
+  ASSERT_GT(storage->total_block_bytes(), options.cache_bytes);
+
+  storage->BeginEpoch();
+  for (VertexId v = 0; v < mem->NumVertices(); ++v) {
+    (void)storage->OutNeighbors(v);
+  }
+  EpochIo io = storage->EndEpoch();
+  EXPECT_EQ(io.bytes, storage->total_block_bytes() -
+                          [&] {
+                            uint64_t in = 0;
+                            for (const auto& m : storage->block_index(false)) {
+                              in += m.stored_bytes;
+                            }
+                            return in;
+                          }());
+  EXPECT_LE(storage->resident_bytes(), options.cache_bytes);
+  EXPECT_GT(storage->stats().evictions, 0u);
+
+  // An evicted block demand-loads again next epoch: bytes accrue afresh.
+  storage->BeginEpoch();
+  (void)storage->OutNeighbors(0);
+  EpochIo io2 = storage->EndEpoch();
+  EXPECT_GT(io2.bytes, 0u);
+}
+
+TEST(StorageTier, PrefetchDepthNeverChangesBytesOrAccessCounts) {
+  GraphPtr mem = TestGraph();
+  TempBlockFile file(*mem, 4 << 10, "depth");
+
+  auto run = [&](int depth) {
+    PagedOptions options;
+    options.prefetch_depth = depth;
+    options.cache_bytes = 32 << 10;
+    auto storage = PagedStorage::Open(file.path(), options).value();
+    std::vector<VertexId> frontier;
+    for (VertexId v = 0; v < mem->NumVertices(); v += 7) {
+      frontier.push_back(v);
+    }
+    uint64_t total_bytes = 0;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      storage->BeginEpoch();
+      storage->PlanBlocks(frontier, /*out_dir=*/true);
+      for (VertexId v : frontier) (void)storage->OutNeighbors(v);
+      storage->Prefetch(frontier, /*out_dir=*/true);
+      total_bytes += storage->EndEpoch().bytes;
+    }
+    StorageStats stats = storage->stats();
+    return std::tuple(total_bytes, stats.bytes_read, stats.accesses,
+                      stats.blocks_read, stats.evictions);
+  };
+
+  const auto baseline = run(0);
+  EXPECT_EQ(run(1), baseline);
+  EXPECT_EQ(run(8), baseline);
+}
+
+TEST(StorageTier, DenseSweepLoadsEveryBlockOnce) {
+  GraphPtr mem = TestGraph();
+  TempBlockFile file(*mem, 4 << 10, "sweep");
+  auto storage = PagedStorage::Open(file.path()).value();
+
+  storage->BeginEpoch();
+  storage->PlanSweep(/*out_dir=*/false, mem->NumVertices());
+  for (VertexId v = 0; v < mem->NumVertices(); ++v) {
+    (void)storage->InNeighbors(v);
+  }
+  EpochIo io = storage->EndEpoch();
+  uint64_t in_bytes = 0;
+  for (const auto& m : storage->block_index(false)) in_bytes += m.stored_bytes;
+  EXPECT_EQ(io.bytes, in_bytes);
+  EXPECT_EQ(storage->stats().dense_plans, 1u);
+}
+
+TEST(StorageTier, RuntimeOptionsPlumbThroughToTheBackend) {
+  GraphPtr mem = TestGraph();
+  TempBlockFile file(*mem, 4 << 10, "plumb");
+  auto paged = OpenPagedGraph(file.path());
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  GraphPtr pg = *paged;
+  auto* storage = static_cast<PagedStorage*>(pg->storage());
+
+  RuntimeOptions options;
+  options.num_workers = 2;
+  options.edge_cache_bytes = 16 << 10;
+  options.storage_prefetch_depth = 0;
+  auto run = algo::RunBfs(pg, RootWithEdges(*mem), options);
+  EXPECT_GT(run.metrics.storage_bytes_read, 0u);
+  // The run-scoped cache budget stuck: the barrier evicted down to it.
+  EXPECT_LE(storage->resident_bytes(), uint64_t{16} << 10);
+  // Depth 0 disables the pipeline entirely.
+  EXPECT_EQ(storage->stats().prefetch_issued, 0u);
+}
+
+// --- Dual-backend matrix --------------------------------------------------
+
+struct MatrixCase {
+  const char* abbr;
+  int host_threads;
+};
+
+class DualBackend : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  static GraphPtr Mem(const char* abbr, bool weighted) {
+    return MakeDataset(abbr, /*scale=*/0.12, weighted).value().graph;
+  }
+};
+
+std::string MatrixName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return std::string(info.param.abbr) + "_t" +
+         std::to_string(info.param.host_threads);
+}
+
+TEST_P(DualBackend, AlgorithmsBitIdenticalWithColdUndersizedCache) {
+  const MatrixCase& c = GetParam();
+  GraphPtr mem = Mem(c.abbr, /*weighted=*/false);
+  GraphPtr memw = Mem(c.abbr, /*weighted=*/true);
+  TempBlockFile file(*mem, 8 << 10, c.abbr);
+  TempBlockFile filew(*memw, 8 << 10, (std::string(c.abbr) + "w").c_str());
+  GraphPtr paged = OpenPagedGraph(file.path()).value();
+  GraphPtr pagedw = OpenPagedGraph(filew.path()).value();
+
+  auto* storage = static_cast<PagedStorage*>(paged->storage());
+  RuntimeOptions options;
+  options.num_workers = 4;
+  options.host_threads = c.host_threads;
+  // Strictly smaller than the edge file: the run must page.
+  options.edge_cache_bytes = storage->total_block_bytes() / 3;
+  ASSERT_GT(options.edge_cache_bytes, 0u);
+
+  {
+    const VertexId root = RootWithEdges(*mem);
+    auto a = algo::RunBfs(mem, root, options);
+    auto b = algo::RunBfs(paged, root, options);
+    ASSERT_EQ(a.distance, b.distance);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.metrics.supersteps, b.metrics.supersteps);
+    EXPECT_EQ(a.metrics.edges_scanned, b.metrics.edges_scanned);
+    EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+    EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+    EXPECT_EQ(a.metrics.vertices_updated, b.metrics.vertices_updated);
+    EXPECT_EQ(a.metrics.storage_bytes_read, 0u);
+    EXPECT_GT(b.metrics.storage_bytes_read, 0u);
+  }
+  {
+    auto a = algo::RunCcOpt(mem, options);
+    auto b = algo::RunCcOpt(paged, options);
+    ASSERT_EQ(a.label, b.label);
+    EXPECT_EQ(a.metrics.supersteps, b.metrics.supersteps);
+    EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  }
+  {
+    auto a = algo::RunPageRank(mem, 10, options);
+    auto b = algo::RunPageRank(paged, 10, options);
+    ASSERT_EQ(a.rank, b.rank);  // Bit-identical doubles, not approximate.
+    EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  }
+  {
+    const VertexId rootw = RootWithEdges(*memw);
+    auto a = algo::RunSssp(memw, rootw, options);
+    auto b = algo::RunSssp(pagedw, rootw, options);
+    ASSERT_EQ(a.distance, b.distance);  // Bit-identical floats.
+    EXPECT_EQ(a.metrics.supersteps, b.metrics.supersteps);
+    EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  }
+}
+
+TEST_P(DualBackend, PagedRunsAreBitIdenticalAcrossRepeats) {
+  const MatrixCase& c = GetParam();
+  GraphPtr mem = Mem(c.abbr, /*weighted=*/false);
+  TempBlockFile file(*mem, 8 << 10, (std::string(c.abbr) + "r").c_str());
+  GraphPtr paged = OpenPagedGraph(file.path()).value();
+  auto* storage = static_cast<PagedStorage*>(paged->storage());
+
+  RuntimeOptions options;
+  options.num_workers = 4;
+  options.host_threads = c.host_threads;
+  options.edge_cache_bytes = storage->total_block_bytes() / 3;
+
+  const VertexId root = RootWithEdges(*mem);
+  // Two independent opens of the same block file replay the same history
+  // (cold run, then warm run). The cache is history-dependent — a warm run
+  // reads whatever its predecessor left non-resident — but it is a pure
+  // function of that history, so the two replicas must agree run for run,
+  // on answers AND on exact byte accounting.
+  GraphPtr twin = OpenPagedGraph(file.path()).value();
+  auto a = algo::RunBfs(paged, root, options);
+  auto b = algo::RunBfs(paged, root, options);
+  auto a2 = algo::RunBfs(twin, root, options);
+  auto b2 = algo::RunBfs(twin, root, options);
+  ASSERT_EQ(a.distance, b.distance);
+  ASSERT_EQ(a.distance, a2.distance);
+  EXPECT_EQ(a.metrics.supersteps, b.metrics.supersteps);
+  EXPECT_EQ(a.metrics.bytes, b.metrics.bytes);
+  EXPECT_EQ(a.metrics.storage_bytes_read, a2.metrics.storage_bytes_read);
+  EXPECT_EQ(a.metrics.storage_blocks_read, a2.metrics.storage_blocks_read);
+  EXPECT_EQ(b.metrics.storage_bytes_read, b2.metrics.storage_bytes_read);
+  EXPECT_EQ(b.metrics.storage_blocks_read, b2.metrics.storage_blocks_read);
+  // A warm start can only turn misses into hits (eviction is barrier-only
+  // LRU, so leftover residents age out before anything the run touches).
+  EXPECT_LE(b.metrics.storage_bytes_read, a.metrics.storage_bytes_read);
+}
+
+INSTANTIATE_TEST_SUITE_P(WebGraphs, DualBackend,
+                         ::testing::Values(MatrixCase{"UK", 1},
+                                           MatrixCase{"UK", 4},
+                                           MatrixCase{"UK", 8},
+                                           MatrixCase{"SK", 1},
+                                           MatrixCase{"SK", 4},
+                                           MatrixCase{"SK", 8}),
+                         MatrixName);
+
+}  // namespace
+}  // namespace flash

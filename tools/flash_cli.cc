@@ -11,6 +11,13 @@
 //     --scale=F           dataset/generator size factor   (default 0.25)
 //     --weighted          keep/attach edge weights
 //     --directed          skip symmetrisation
+//   storage tier (semi-external paged backend; docs/INTERNALS.md):
+//     --storage=S         mem | paged                     (default mem)
+//                         (paged spills the edge blocks to a temp block
+//                         file and reloads them through the LRU cache)
+//     --block-kb=N        block payload target, KiB       (default 64)
+//     --cache-mb=N        LRU block-cache budget, MiB     (default 64)
+//     --prefetch=N        prefetch queue depth, 0 = off   (default 8)
 //   runtime options:
 //     --workers=N         simulated workers               (default 4)
 //     --threads=N         threads per worker              (default 1)
@@ -46,6 +53,8 @@
 //             tc gc scc bcc lpa msf rc kclique ktruss pagerank ppr
 //             clustering hits msbfs diameter bipartite topo densest serve
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +89,10 @@ struct Args {
   double scale = 0.25;
   bool weighted = false;
   bool directed = false;
+  std::string storage = "mem";
+  int block_kb = 64;
+  int cache_mb = 64;
+  int prefetch = 8;
   int workers = 4;
   int threads = 1;
   std::string mode = "adaptive";
@@ -140,6 +153,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->generator = v;
     } else if ((v = value("--scale="))) {
       args->scale = std::atof(v);
+    } else if ((v = value("--storage="))) {
+      args->storage = v;
+    } else if ((v = value("--block-kb="))) {
+      args->block_kb = std::atoi(v);
+    } else if ((v = value("--cache-mb="))) {
+      args->cache_mb = std::atoi(v);
+    } else if ((v = value("--prefetch="))) {
+      args->prefetch = std::atoi(v);
     } else if ((v = value("--workers="))) {
       args->workers = std::atoi(v);
     } else if ((v = value("--threads="))) {
@@ -258,6 +279,14 @@ RuntimeOptions MakeRuntime(const Args& args) {
   if (args.WantsTrace()) {
     options.trace = true;
     options.tracer = std::make_shared<obs::Tracer>();
+  }
+  if (args.storage == "paged") {
+    // Plumb the CLI knobs through RuntimeOptions so the engine re-applies
+    // them per run (the same path a library user would take).
+    options.edge_cache_bytes = uint64_t{static_cast<uint32_t>(
+                                   std::max(1, args.cache_mb))}
+                               << 20;
+    options.storage_prefetch_depth = std::max(0, args.prefetch);
   }
   options.fault_plan.msg_drop_rate = args.drop_rate;
   options.fault_plan.checkpoint_interval = args.ckpt_interval;
@@ -415,6 +444,30 @@ void WriteVector(const std::string& path, const std::vector<T>& values) {
   std::printf("per-vertex results written to %s\n", path.c_str());
 }
 
+/// Spills `graph` to a temp block file and reopens it through the paged
+/// backend (--storage=paged). The file lives for the process; the returned
+/// guard removes it.
+struct BlockFileGuard {
+  std::string path;
+  ~BlockFileGuard() {
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+Result<GraphPtr> PageGraph(const Args& args, const GraphPtr& graph,
+                           BlockFileGuard* guard) {
+  guard->path = "/tmp/flash_cli_" + std::to_string(::getpid()) + ".fblk";
+  BlockFileOptions save_options;
+  save_options.block_payload_bytes =
+      uint64_t{static_cast<uint32_t>(std::max(1, args.block_kb))} << 10;
+  FLASH_RETURN_NOT_OK(SaveBlockFile(*graph, guard->path, save_options));
+  PagedOptions options;
+  options.cache_bytes =
+      uint64_t{static_cast<uint32_t>(std::max(1, args.cache_mb))} << 20;
+  options.prefetch_depth = std::max(0, args.prefetch);
+  return OpenPagedGraph(guard->path, options);
+}
+
 int Run(const Args& args) {
   auto graph_or = LoadGraph(args);
   if (!graph_or.ok()) {
@@ -423,6 +476,22 @@ int Run(const Args& args) {
     return 1;
   }
   GraphPtr graph = std::move(graph_or).value();
+  BlockFileGuard block_file;
+  if (args.storage == "paged") {
+    auto paged_or = PageGraph(args, graph, &block_file);
+    if (!paged_or.ok()) {
+      std::fprintf(stderr, "cannot page graph: %s\n",
+                   paged_or.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(paged_or).value();
+    std::printf("storage: paged (%s, cache %d MiB, prefetch %d)\n",
+                block_file.path.c_str(), args.cache_mb, args.prefetch);
+  } else if (args.storage != "mem") {
+    std::fprintf(stderr, "unknown --storage=%s (mem | paged)\n",
+                 args.storage.c_str());
+    return 2;
+  }
   std::printf("graph: %u vertices, %llu edges%s%s\n", graph->NumVertices(),
               static_cast<unsigned long long>(graph->NumEdges()),
               graph->is_symmetric() ? ", symmetric" : ", directed",
