@@ -1,0 +1,27 @@
+#ifndef FLASH_COMMON_HASH_H_
+#define FLASH_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flash {
+
+/// FNV-1a 64-bit, seedable so multi-section checksums chain. Shared by the
+/// paged block file (graph/paged_storage.h) and the walker wire-frame codec
+/// (common/serialize.h): both frame untrusted bytes and need a cheap
+/// integrity check where any single corrupted byte provably changes the
+/// digest (xor-then-multiply by an odd prime is injective per step).
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t seed = 14695981039346656037ull) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace flash
+
+#endif  // FLASH_COMMON_HASH_H_

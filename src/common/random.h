@@ -49,6 +49,45 @@ class Rng {
   uint64_t state_[4];
 };
 
+// --- Counter-based PRNG ----------------------------------------------------
+//
+// Pure functions of (seed, counters): no state, no stream, no ordering
+// requirements. A draw keyed on logical coordinates — (walker, step) for the
+// walk engine, (query index) for Poisson arrival replay — is bit-identical
+// at any host thread count, in any schedule, and on any storage backend,
+// which is the same idiom FaultInjector::Draw uses for the unreliable-wire
+// adversary. The mixer is SplitMix64-style finalisation over the xor-folded
+// counters with distinct odd multipliers per lane, so adjacent counters
+// decorrelate fully.
+
+inline uint64_t CounterMix(uint64_t seed, uint64_t a, uint64_t b = 0,
+                           uint64_t c = 0) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+  z ^= a * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 30)) * 0x94D049BB133111EBull;
+  z ^= b * 0xC2B2AE3D27D4EB4Full;
+  z = (z ^ (z >> 27)) * 0xFF51AFD7ED558CCDull;
+  z ^= c * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 31)) * 0xC4CEB9FE1A85EC53ull;
+  return z ^ (z >> 33);
+}
+
+/// Uniform double in [0, 1), a pure function of the arguments.
+inline double CounterUniform(uint64_t seed, uint64_t a, uint64_t b = 0,
+                             uint64_t c = 0) {
+  return static_cast<double>(CounterMix(seed, a, b, c) >> 11) * 0x1.0p-53;
+}
+
+/// Uniform in [0, bound), bound > 0, a pure function of the arguments.
+/// Multiply-shift (Lemire) rather than modulo: one multiplication, and the
+/// negligible bias is spread over the range instead of the low residues.
+inline uint64_t CounterBounded(uint64_t bound, uint64_t seed, uint64_t a,
+                               uint64_t b = 0, uint64_t c = 0) {
+  const uint64_t x = CounterMix(seed, a, b, c);
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(x) * bound) >> 64);
+}
+
 }  // namespace flash
 
 #endif  // FLASH_COMMON_RANDOM_H_

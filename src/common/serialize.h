@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/status.h"
 
@@ -340,6 +341,162 @@ inline Status ReadWireFrameIds(BufferReader& r, const WireFrameHeader& header,
     }
     ids->push_back(static_cast<WireId>(id));
     last = id;
+  }
+  return Status::OK();
+}
+
+// --- Walker frame codec ----------------------------------------------------
+//
+// The on-wire unit of the random-walk engine (src/walks/): all walkers one
+// worker ships to one destination in one walk step, sorted by (current
+// vertex, walker id). Unlike the VData frames above — which the engine
+// always decodes exactly once per superstep — walker frames are also
+// re-parsed from fault-injected deliveries and fuzz corpora, so each frame
+// is length-prefixed (several frames may share one channel buffer: the
+// naive per-walker bench baseline ships one frame per walker) and carries
+// an FNV-1a digest over the prefix + body. Every truncation and every byte
+// flip is rejected with a Status; the decoder never reads past the frame.
+//
+//   varint   length          body bytes that follow the checksum
+//   u64le    checksum        Fnv1a64(varint-length bytes ++ body)
+//   body:
+//     varint count << 1 | 1  record count (always sorted; WireBatch header)
+//     varint mask            kWalkerFrameMask, the walk engine's tag
+//     varint ids[count]      current vertices, ascending plain deltas
+//     per record, in id order:
+//       varint walker_id
+//       varint prev + 1      previous vertex (node2vec state); 0 = none
+
+/// Frame tag distinguishing walker frames from VData field masks ("WK").
+inline constexpr uint32_t kWalkerFrameMask = 0x574Bu;
+
+/// One in-flight walker crossing a partition boundary.
+struct WalkerRecord {
+  WireId cur = 0;       // Vertex the walker sits on (frame id column).
+  uint64_t id = 0;      // Walker id — keys the counter PRNG.
+  WireId prev = 0;      // Previous vertex, or kNoPrev for step 0 / PPR.
+
+  static constexpr WireId kNoPrev = static_cast<WireId>(-1);
+
+  bool operator==(const WalkerRecord&) const = default;
+};
+
+/// Appends one checksummed walker frame to `out`. Records must already be
+/// sorted by (cur, id) — the shuffle order the engine ships in. `scratch`
+/// is the caller's pooled body buffer (contents clobbered). Empty record
+/// runs write nothing, like EncodeWireFrame.
+inline uint64_t EncodeWalkerFrame(BufferWriter& out,
+                                  const WalkerRecord* records, size_t count,
+                                  BufferWriter& scratch) {
+  if (count == 0) return 0;
+  scratch.Clear();
+  scratch.WriteVarint(static_cast<uint64_t>(count) << 1 | 1);
+  scratch.WriteVarint(kWalkerFrameMask);
+  WireId last = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const WireId cur = records[i].cur;
+    scratch.WriteVarint(i == 0 ? cur : cur - last);
+    last = cur;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    scratch.WriteVarint(records[i].id);
+    scratch.WriteVarint(records[i].prev == WalkerRecord::kNoPrev
+                            ? 0
+                            : static_cast<uint64_t>(records[i].prev) + 1);
+  }
+  BufferWriter prefix;
+  prefix.WriteVarint(scratch.size());
+  uint64_t digest = Fnv1a64(prefix.bytes().data(), prefix.size());
+  digest = Fnv1a64(scratch.bytes().data(), scratch.size(), digest);
+  out.WriteRaw(prefix.bytes().data(), prefix.size());
+  out.WritePod(digest);
+  out.WriteRaw(scratch.bytes().data(), scratch.size());
+  return count;
+}
+
+/// Decodes the next walker frame from `r`, appending its records to
+/// `*records`. Validates the length prefix, the FNV-1a digest, the frame
+/// mask, id monotonicity/range, and that every record lies inside the
+/// declared body — any corruption (truncation at every prefix, any byte
+/// flip) returns a Status and leaves the reader unusable for further
+/// frames; nothing is ever read beyond the declared frame. `num_vertices`
+/// bounds cur/prev ids (the engine's graph size).
+inline Status DecodeWalkerFrame(BufferReader& r, uint64_t num_vertices,
+                                std::vector<WalkerRecord>* records) {
+  // Length prefix — keep its raw bytes for the digest chain.
+  uint64_t body_len = 0;
+  uint8_t prefix_bytes[10];
+  size_t prefix_len = 0;
+  {
+    uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (r.remaining() == 0 || shift > 63 || prefix_len >= sizeof(prefix_bytes)) {
+        return Status::OutOfRange("walker frame: truncated length prefix");
+      }
+      uint8_t byte;
+      r.ReadRaw(&byte, 1);
+      prefix_bytes[prefix_len++] = byte;
+      value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    body_len = value;
+  }
+  if (r.remaining() < sizeof(uint64_t)) {
+    return Status::OutOfRange("walker frame: truncated checksum");
+  }
+  const uint64_t stored_digest = r.ReadPod<uint64_t>();
+  if (body_len > r.remaining()) {
+    return Status::OutOfRange("walker frame: body exceeds buffer");
+  }
+  // Verify the digest over prefix + body before parsing a single body byte.
+  std::vector<uint8_t> body(body_len);
+  r.ReadRaw(body.data(), body_len);
+  uint64_t digest = Fnv1a64(prefix_bytes, prefix_len);
+  digest = Fnv1a64(body.data(), body.size(), digest);
+  if (digest != stored_digest) {
+    return Status::IOError("walker frame: checksum mismatch");
+  }
+  BufferReader br(body.data(), body.size());
+  WireFrameHeader header;
+  Status st = ReadWireFrameHeader(br, &header);
+  if (!st.ok()) return st;
+  if (header.mask != kWalkerFrameMask) {
+    return Status::InvalidArgument("walker frame: wrong frame mask");
+  }
+  if (!header.sorted) {
+    return Status::InvalidArgument("walker frame: ids must be sorted");
+  }
+  std::vector<WireId> ids;
+  st = ReadWireFrameIds(br, header, &ids);
+  if (!st.ok()) return st;
+  // Reserve only for multi-record frames: an exact reserve per one-record
+  // frame would defeat push_back's geometric growth (quadratic copying).
+  if (ids.size() > 1) records->reserve(records->size() + ids.size());
+  for (const WireId cur : ids) {
+    if (cur >= num_vertices) {
+      return Status::InvalidArgument("walker frame: vertex out of range");
+    }
+    uint64_t id = 0;
+    uint64_t prev_plus1 = 0;
+    if (!br.TryReadVarint(&id) || !br.TryReadVarint(&prev_plus1)) {
+      return Status::OutOfRange("walker frame: truncated record section");
+    }
+    WalkerRecord rec;
+    rec.cur = cur;
+    rec.id = id;
+    if (prev_plus1 == 0) {
+      rec.prev = WalkerRecord::kNoPrev;
+    } else if (prev_plus1 - 1 >= num_vertices) {
+      return Status::InvalidArgument("walker frame: prev vertex out of range");
+    } else {
+      rec.prev = static_cast<WireId>(prev_plus1 - 1);
+    }
+    records->push_back(rec);
+  }
+  if (!br.AtEnd()) {
+    return Status::InvalidArgument("walker frame: trailing body bytes");
   }
   return Status::OK();
 }

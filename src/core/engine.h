@@ -870,6 +870,7 @@ class GraphApi {
       case StepKind::kEdgeMapSparse: return "step:edgemap_sparse";
       case StepKind::kAggregate: return "step:aggregate";
       case StepKind::kAsyncRound: return "step:async_round";
+      case StepKind::kWalkStep: return "step:walk";
     }
     return "step";
   }

@@ -60,9 +60,21 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
     // worker (captures user-function cost — intersections, recursion — that
     // edge counters cannot see); fall back to the counter estimate for
     // samples without timings.
-    double work_seconds =
-        static_cast<double>(step.edges_max) * config.ns_per_edge * 1e-9 +
-        static_cast<double>(step.verts_max) * config.ns_per_vertex * 1e-9;
+    // Walk steps are walker-bound, not edge-bound: verts_* counts walker
+    // advances (one sampled adjacency read + PRNG draw each) and edges_*
+    // counts by-vertex shuffle entries, so they price on the walk terms.
+    double work_seconds;
+    if (step.kind == StepKind::kWalkStep) {
+      work_seconds =
+          static_cast<double>(step.verts_max) * config.ns_per_walk_step *
+              1e-9 +
+          static_cast<double>(step.edges_max) * config.ns_per_shuffle_entry *
+              1e-9;
+    } else {
+      work_seconds =
+          static_cast<double>(step.edges_max) * config.ns_per_edge * 1e-9 +
+          static_cast<double>(step.verts_max) * config.ns_per_vertex * 1e-9;
+    }
     if (step.comp_max > 0) {
       work_seconds = std::max(work_seconds,
                               step.comp_max / config.host_compute_scale);
@@ -74,10 +86,16 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
     double serialize = step.bytes_max * 0.25e-9;
 
     // Communication: the busiest worker's wire volume plus per-message cost.
+    // Walk steps count discrete wire frames in msgs_total, priced at the
+    // full per-send dispatch cost; vertex-centric steps count records
+    // inside already-coalesced frames, priced at the amortised rate.
     double comm = 0;
     if (config.nodes > 1) {
+      const double per_msg_ns = step.kind == StepKind::kWalkStep
+                                    ? config.ns_per_wire_frame
+                                    : config.ns_per_message;
       comm = static_cast<double>(step.bytes_max) / config.bytes_per_second +
-             1e-9 * config.ns_per_message * static_cast<double>(step.msgs_total) /
+             1e-9 * per_msg_ns * static_cast<double>(step.msgs_total) /
                  config.nodes;
     }
 

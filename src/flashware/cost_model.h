@@ -53,6 +53,26 @@ struct ClusterConfig {
   double relaxed_sync_seconds = 5e-6;
   double token_sweep_seconds = 40e-6;
 
+  // Random-walk engine terms (engaged only for StepKind::kWalkStep samples,
+  // i.e. runs through src/walks/). A walk step's compute is walker-bound,
+  // not edge-bound: each live walker pays one sampled adjacency read + PRNG
+  // draw + trace/visit append (`ns_per_walk_step`), and the FlashMob-style
+  // by-vertex shuffle pays a bucket/sort pass per walker it orders
+  // (`ns_per_shuffle_entry`). Both are per-walker, per-step costs on the
+  // busiest worker; measured comp_max still overrides the counter estimate
+  // when it is larger, exactly like the vertex-centric terms.
+  double ns_per_walk_step = 12.0;
+  double ns_per_shuffle_entry = 4.0;
+  // Per discrete wire-frame dispatch. Walk steps count *frames* in
+  // msgs_total (the unit the network charges send overhead on; per-walker
+  // record counts live in WalkStats), so a mode that ships one checksummed
+  // frame per migrating walker pays this per walker while the batched mode
+  // pays it once per channel. ~1us is a conservative price for a small
+  // message send (syscall + header build + receive dispatch); contrast
+  // ns_per_message above, which is the *amortised* per-record cost inside
+  // an already-coalesced frame.
+  double ns_per_wire_frame = 1000.0;
+
   // Storage-tier terms (engaged only when step samples carry nonzero
   // storage bytes, i.e. the graph ran on the paged semi-external backend).
   // Sequential NVMe-class bandwidth plus a fixed per-block request latency;

@@ -66,6 +66,16 @@ void Metrics::Absorb(const Metrics& other) {
   async.comp_seconds_max += other.async.comp_seconds_max;
   async.comp_seconds_total += other.async.comp_seconds_total;
 
+  walks.walkers += other.walks.walkers;
+  walks.steps += other.walks.steps;
+  walks.walker_steps += other.walks.walker_steps;
+  walks.shuffle_entries += other.walks.shuffle_entries;
+  walks.walkers_shipped += other.walks.walkers_shipped;
+  walks.frame_bytes += other.walks.frame_bytes;
+  walks.restarts += other.walks.restarts;
+  walks.terminations += other.walks.terminations;
+  walks.rejections += other.walks.rejections;
+
   storage_bytes_read += other.storage_bytes_read;
   storage_blocks_read += other.storage_blocks_read;
   // Backend-lifetime counters: composed runs share one backend, so each
@@ -96,6 +106,16 @@ std::string AsyncStats::ToString() const {
   return out.str();
 }
 
+std::string WalkStats::ToString() const {
+  std::ostringstream out;
+  out << "walkers=" << walkers << " steps=" << steps
+      << " hops=" << walker_steps << " shuffled=" << shuffle_entries
+      << " shipped=" << walkers_shipped << " frame_bytes=" << frame_bytes
+      << " restarts=" << restarts << " terminations=" << terminations
+      << " rejections=" << rejections;
+  return out.str();
+}
+
 std::string Metrics::ToString() const {
   std::ostringstream out;
   out << "supersteps=" << supersteps << " edges=" << edges_scanned
@@ -108,6 +128,7 @@ std::string Metrics::ToString() const {
       << " ser=" << serialize_seconds << " other=" << other_seconds << ")";
   if (fault.Any()) out << " fault[" << fault.ToString() << "]";
   if (async.Any()) out << " async[" << async.ToString() << "]";
+  if (walks.Any()) out << " walks[" << walks.ToString() << "]";
   if (storage.Any()) out << " storage[" << storage.ToString() << "]";
   return out.str();
 }

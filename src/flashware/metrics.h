@@ -16,6 +16,8 @@ enum class StepKind : uint8_t {
   kEdgeMapSparse,
   kAggregate,   // SIZE / reductions / subset bitmap exchanges.
   kAsyncRound,  // One relaxed micro-round of the async engine (no barrier).
+  kWalkStep,    // One synchronous step of the random-walk engine: every
+                // live walker advances one hop (src/walks/walk_engine.h).
 };
 
 /// One BSP superstep's worth of counters, with per-worker maxima retained so
@@ -129,6 +131,34 @@ struct AsyncStats {
   std::string ToString() const;
 };
 
+/// Counters of one random-walk engine run (src/walks/). All zero for
+/// vertex-centric runs. Every field is an exact count folded at walk-step
+/// barriers from single-writer per-worker tallies, so the totals are
+/// bit-identical at any host thread count, on either storage backend, and
+/// in batched or naive shuffle mode — the walk determinism tests assert
+/// exact equality across all of those axes.
+struct WalkStats {
+  uint64_t walkers = 0;          // Walkers started.
+  uint64_t steps = 0;            // Walk supersteps (one barrier each).
+  uint64_t walker_steps = 0;     // Individual walker advances (hops).
+  uint64_t shuffle_entries = 0;  // Walkers passed through the by-vertex sort.
+  uint64_t walkers_shipped = 0;  // Cross-partition migrations (wire records).
+  uint64_t frame_bytes = 0;      // Walker-frame bytes handed to the bus.
+  uint64_t restarts = 0;         // Dead-end teleports back to the source.
+  uint64_t terminations = 0;     // Geometric deaths (walk-based PPR).
+  uint64_t rejections = 0;       // node2vec rejection-sampling retries.
+
+  bool operator==(const WalkStats&) const = default;
+
+  bool Any() const {
+    return walkers | steps | walker_steps | shuffle_entries |
+           walkers_shipped | frame_bytes | restarts | terminations |
+           rejections;
+  }
+
+  std::string ToString() const;
+};
+
 /// Cumulative metrics for one algorithm run on the simulated cluster.
 struct Metrics {
   uint64_t supersteps = 0;
@@ -157,6 +187,9 @@ struct Metrics {
 
   /// Async-engine counters (all zero for pure-BSP runs).
   AsyncStats async;
+
+  /// Random-walk engine counters (all zero for vertex-centric runs).
+  WalkStats walks;
 
   /// Storage-tier totals for this run (zero for in-memory graphs).
   uint64_t storage_bytes_read = 0;

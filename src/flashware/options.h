@@ -124,6 +124,24 @@ struct RuntimeOptions {
   /// scheduling. Negative keeps the backend's configured fraction.
   double storage_dense_fraction = -1.0;
 
+  /// Number of concurrent walkers the random-walk engine (src/walks/)
+  /// launches. DeepWalk/node2vec start walker i at vertex i mod |V| (so
+  /// num_walkers = k*|V| gives k walks per vertex); walk-based PPR starts
+  /// every walker at the query source. Ignored by vertex-centric runs.
+  uint64_t num_walkers = 100000;
+
+  /// Steps each walker takes (DeepWalk/node2vec), and the hard cap on a
+  /// PPR walker's geometric lifetime. Ignored by vertex-centric runs.
+  uint32_t walk_length = 10;
+
+  /// node2vec return parameter p (Grover & Leskovec): the unnormalised
+  /// weight of stepping back to the previous vertex is 1/p.
+  double node2vec_p = 1.0;
+
+  /// node2vec in-out parameter q: weight 1/q for candidates that are not
+  /// neighbours of the previous vertex (1 for common neighbours).
+  double node2vec_q = 1.0;
+
   /// Adversity the run must survive: seeded message drop/duplication/
   /// reordering on the bus plus scheduled worker crashes with checkpoint
   /// recovery. The default (inactive) plan adds no hooks and leaves wire

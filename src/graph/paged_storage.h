@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "graph/storage.h"
 
@@ -47,17 +48,8 @@ inline constexpr char kBlockFileMagic[8] = {'F', 'L', 'S', 'H',
 inline constexpr uint32_t kBlockFileVersion = 1;
 inline constexpr uint32_t kBlockHeaderMagic = 0xB10CFA5Eu;
 
-/// FNV-1a 64-bit, seedable so multi-section checksums chain.
-inline uint64_t Fnv1a64(const void* data, size_t size,
-                        uint64_t seed = 14695981039346656037ull) {
-  const uint8_t* p = static_cast<const uint8_t*>(data);
-  uint64_t h = seed;
-  for (size_t i = 0; i < size; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+// Fnv1a64 (the block checksum function) moved to common/hash.h so the
+// walker wire-frame codec can share it without depending on graph/.
 
 struct BlockFileHeader {
   char magic[8] = {};

@@ -209,6 +209,28 @@ Registry BuildRegistry(const flash::Metrics& metrics,
               static_cast<double>(st.peak_resident_bytes),
               "Peak cached block bytes observed at a barrier");
   }
+  // Random-walk engine counters (WalkStats; all exact integers). The block
+  // is suppressed for vertex-centric runs, like the storage lifetime block.
+  if (metrics.walks.Any()) {
+    const WalkStats& wk = metrics.walks;
+    reg.Counter("flash_walks_walkers_total", wk.walkers, "Walkers started");
+    reg.Counter("flash_walks_steps_total", wk.steps,
+                "Walk supersteps executed (one barrier each)");
+    reg.Counter("flash_walks_walker_steps_total", wk.walker_steps,
+                "Individual walker advances (hops)");
+    reg.Counter("flash_walks_shuffle_entries_total", wk.shuffle_entries,
+                "Walkers passed through the by-vertex shuffle sort");
+    reg.Counter("flash_walks_shipped_total", wk.walkers_shipped,
+                "Walkers shipped across partitions as wire records");
+    reg.Counter("flash_walks_frame_bytes_total", wk.frame_bytes,
+                "Walker-frame bytes exchanged over the bus");
+    reg.Counter("flash_walks_restarts_total", wk.restarts,
+                "Dead-end teleports back to the walk source (PPR)");
+    reg.Counter("flash_walks_terminations_total", wk.terminations,
+                "Walkers ended early (geometric death or dead end)");
+    reg.Counter("flash_walks_rejections_total", wk.rejections,
+                "node2vec rejection-sampling retries");
+  }
   if (options != nullptr) {
     reg.Gauge("flash_workers", options->num_workers, "Simulated workers");
     reg.Gauge("flash_threads_per_worker", options->threads_per_worker,

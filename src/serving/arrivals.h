@@ -1,0 +1,63 @@
+#ifndef FLASH_SERVING_ARRIVALS_H_
+#define FLASH_SERVING_ARRIVALS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace flash {
+namespace serving {
+
+/// Deterministic arrival clocks for query-log replay (docs/SERVING.md).
+///
+/// `flash_cli serve --serve-qps=F` stamps each replayed query with a
+/// submission time. A fixed clock (i / qps) exercises the scheduler under
+/// perfectly even load, which hides the queueing behaviour a real open-loop
+/// client produces; a Poisson process (exponential interarrivals at rate
+/// qps) recreates the bursts and lulls that make batch widths and shed
+/// decisions interesting. Interarrival i is a pure function of
+/// (seed, i) via the counter PRNG, so a replay is bit-identical across
+/// runs, host thread counts, and submission order — the same determinism
+/// contract as the walk engine's transition draws.
+
+/// One exponential interarrival draw at rate `qps`, keyed (seed, index).
+/// Returns 0 when qps <= 0 (burst mode: everything arrives at t=0).
+inline double ExpInterarrival(double qps, uint64_t seed, uint64_t index) {
+  if (qps <= 0) return 0.0;
+  // u in [0, 1); -log1p(-u) is Exp(1) and finite for every u.
+  const double u = CounterUniform(seed, index);
+  return -std::log1p(-u) / qps;
+}
+
+/// Cumulative Poisson-process arrival times for `count` queries at rate
+/// `qps`: arrivals[i] = sum of the first i+1 interarrival draws. Monotone
+/// nondecreasing; all zeros when qps <= 0.
+inline std::vector<double> PoissonArrivalTimes(size_t count, double qps,
+                                               uint64_t seed) {
+  std::vector<double> arrivals(count, 0.0);
+  double clock = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    clock += ExpInterarrival(qps, seed, i);
+    arrivals[i] = clock;
+  }
+  return arrivals;
+}
+
+/// Fixed-interval arrival times (the legacy --serve-qps clock):
+/// arrivals[i] = i / qps, or all zeros when qps <= 0.
+inline std::vector<double> FixedArrivalTimes(size_t count, double qps) {
+  std::vector<double> arrivals(count, 0.0);
+  if (qps <= 0) return arrivals;
+  const double interarrival = 1.0 / qps;
+  for (size_t i = 0; i < count; ++i) {
+    arrivals[i] = static_cast<double>(i) * interarrival;
+  }
+  return arrivals;
+}
+
+}  // namespace serving
+}  // namespace flash
+
+#endif  // FLASH_SERVING_ARRIVALS_H_

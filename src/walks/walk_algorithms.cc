@@ -1,0 +1,63 @@
+#include "walks/walk_algorithms.h"
+
+#include <utility>
+
+namespace flash {
+namespace walks {
+
+DeepWalkResult RunDeepWalk(const GraphPtr& graph,
+                           const RuntimeOptions& options, uint64_t seed) {
+  WalkEngine engine(graph, options);
+  WalkSpec spec;
+  spec.kind = WalkKind::kUniform;
+  spec.seed = seed;
+  WalkResult run = engine.Run(spec);
+  DeepWalkResult result;
+  result.walks = std::move(run.traces);
+  result.metrics = std::move(run.metrics);
+  result.tracer = std::move(run.tracer);
+  return result;
+}
+
+Node2VecResult RunNode2Vec(const GraphPtr& graph,
+                           const RuntimeOptions& options, uint64_t seed) {
+  WalkEngine engine(graph, options);
+  WalkSpec spec;
+  spec.kind = WalkKind::kNode2Vec;
+  spec.seed = seed;
+  WalkResult run = engine.Run(spec);
+  Node2VecResult result;
+  result.walks = std::move(run.traces);
+  result.metrics = std::move(run.metrics);
+  result.tracer = std::move(run.tracer);
+  return result;
+}
+
+WalkPprResult RunWalkPpr(const GraphPtr& graph, VertexId source,
+                         const RuntimeOptions& options, double alpha,
+                         uint64_t seed) {
+  WalkEngine engine(graph, options);
+  WalkSpec spec;
+  spec.kind = WalkKind::kPpr;
+  spec.seed = seed;
+  spec.ppr_alpha = alpha;
+  spec.ppr_source = source;
+  spec.record_traces = false;  // The estimate needs only the counters.
+  WalkResult run = engine.Run(spec);
+  WalkPprResult result;
+  result.visits = std::move(run.visits);
+  result.total_visits = run.total_visits;
+  result.metrics = std::move(run.metrics);
+  result.tracer = std::move(run.tracer);
+  result.rank.assign(result.visits.size(), 0.0);
+  if (result.total_visits > 0) {
+    const double inv = 1.0 / static_cast<double>(result.total_visits);
+    for (size_t v = 0; v < result.visits.size(); ++v) {
+      result.rank[v] = static_cast<double>(result.visits[v]) * inv;
+    }
+  }
+  return result;
+}
+
+}  // namespace walks
+}  // namespace flash

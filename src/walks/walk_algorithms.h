@@ -1,0 +1,62 @@
+#ifndef FLASH_WALKS_WALK_ALGORITHMS_H_
+#define FLASH_WALKS_WALK_ALGORITHMS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "walks/walk_engine.h"
+
+namespace flash {
+namespace walks {
+
+/// DeepWalk corpus generation (Perozzi et al.): num_walkers uniform random
+/// walks of walk_length steps, starts rotating over the vertex set. The
+/// result's walks are the skip-gram training corpus.
+struct DeepWalkResult {
+  std::vector<std::vector<VertexId>> walks;
+  Metrics metrics;
+  std::shared_ptr<obs::Tracer> tracer;
+};
+
+DeepWalkResult RunDeepWalk(const GraphPtr& graph,
+                           const RuntimeOptions& options = {},
+                           uint64_t seed = 42);
+
+/// node2vec corpus generation (Grover & Leskovec): second-order biased
+/// walks steered by RuntimeOptions::node2vec_p / node2vec_q, sampled by
+/// rejection against the per-walker previous vertex.
+struct Node2VecResult {
+  std::vector<std::vector<VertexId>> walks;
+  Metrics metrics;
+  std::shared_ptr<obs::Tracer> tracer;
+};
+
+Node2VecResult RunNode2Vec(const GraphPtr& graph,
+                           const RuntimeOptions& options = {},
+                           uint64_t seed = 42);
+
+/// Monte-Carlo personalised PageRank: num_walkers walkers start at
+/// `source`, terminate with probability `alpha` per step (capped at
+/// walk_length), and dead ends teleport back to the source — the same
+/// dangling-mass convention as the power-iteration oracle
+/// (algorithms/ppr.cc). rank[v] = visits[v] / total_visits converges on
+/// the exact PPR vector as num_walkers grows; the visit counters are exact
+/// uint64, so the estimate is bit-identical at any host_threads and on
+/// both storage backends.
+struct WalkPprResult {
+  std::vector<double> rank;
+  std::vector<uint64_t> visits;
+  uint64_t total_visits = 0;
+  Metrics metrics;
+  std::shared_ptr<obs::Tracer> tracer;
+};
+
+WalkPprResult RunWalkPpr(const GraphPtr& graph, VertexId source,
+                         const RuntimeOptions& options = {},
+                         double alpha = 0.15, uint64_t seed = 42);
+
+}  // namespace walks
+}  // namespace flash
+
+#endif  // FLASH_WALKS_WALK_ALGORITHMS_H_

@@ -40,6 +40,17 @@
 //     --serve-queue=N     admission bound (pending queries)   (default 4096)
 //     --serve-wait-ms=F   max batch wait, modelled ms         (default 5)
 //     --serve-qps=F       offered load; 0 = submit all at t=0 (default 0)
+//     --serve-arrivals=A  poisson | fixed arrival clock    (default poisson)
+//     --serve-seed=N      Poisson interarrival PRNG seed      (default 42)
+//   random walks (algorithm name "walk"; docs/INTERNALS.md):
+//     --walk-kind=K       deepwalk | node2vec | ppr     (default deepwalk)
+//     --walkers=N         concurrent walkers              (default 100000)
+//     --walk-length=N     steps per walker                    (default 10)
+//     --p=F               node2vec return parameter          (default 1.0)
+//     --q=F               node2vec in-out parameter          (default 1.0)
+//     --alpha=F           ppr termination probability       (default 0.15)
+//     --walk-seed=N       walk PRNG seed (traces are a pure function of
+//                         it — bit-identical at any --threads) (default 42)
 //   output:
 //     --output=FILE       write per-vertex results, one per line
 //     --metrics           print the run's superstep/communication metrics
@@ -51,7 +62,7 @@
 //
 // Algorithms: bfs sssp ssspdelta cc ccopt harmonic bc betweenness mis mm mmopt kcore kcoreopt
 //             tc gc scc bcc lpa msf rc kclique ktruss pagerank ppr
-//             clustering hits msbfs diameter bipartite topo densest serve
+//             clustering hits msbfs diameter bipartite topo densest serve walk
 
 #include <unistd.h>
 
@@ -76,7 +87,9 @@
 #include "obs/exporters.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "serving/arrivals.h"
 #include "serving/server.h"
+#include "walks/walk_algorithms.h"
 
 namespace flash::cli {
 namespace {
@@ -115,6 +128,15 @@ struct Args {
   int serve_queue = 4096;
   double serve_wait_ms = 5.0;
   double serve_qps = 0;
+  std::string serve_arrivals = "poisson";
+  uint64_t serve_seed = 42;
+  std::string walk_kind = "deepwalk";
+  uint64_t walkers = 100000;
+  int walk_length = 10;
+  double p = 1.0;
+  double q = 1.0;
+  double alpha = 0.15;
+  uint64_t walk_seed = 42;
 
   bool WantsTrace() const {
     return !trace_out.empty() || !timeline_out.empty() || profile;
@@ -195,6 +217,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->serve_wait_ms = std::atof(v);
     } else if ((v = value("--serve-qps="))) {
       args->serve_qps = std::atof(v);
+    } else if ((v = value("--serve-arrivals="))) {
+      args->serve_arrivals = v;
+    } else if ((v = value("--serve-seed="))) {
+      args->serve_seed = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = value("--walk-kind="))) {
+      args->walk_kind = v;
+    } else if ((v = value("--walkers="))) {
+      args->walkers = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = value("--walk-length="))) {
+      args->walk_length = std::atoi(v);
+    } else if ((v = value("--p="))) {
+      args->p = std::atof(v);
+    } else if ((v = value("--q="))) {
+      args->q = std::atof(v);
+    } else if ((v = value("--alpha="))) {
+      args->alpha = std::atof(v);
+    } else if ((v = value("--walk-seed="))) {
+      args->walk_seed = static_cast<uint64_t>(std::atoll(v));
     } else if ((v = value("--drop-rate="))) {
       args->drop_rate = std::atof(v);
     } else if ((v = value("--ckpt-interval="))) {
@@ -288,6 +328,10 @@ RuntimeOptions MakeRuntime(const Args& args) {
                                << 20;
     options.storage_prefetch_depth = std::max(0, args.prefetch);
   }
+  options.num_walkers = args.walkers;
+  options.walk_length = static_cast<uint32_t>(std::max(1, args.walk_length));
+  options.node2vec_p = args.p;
+  options.node2vec_q = args.q;
   options.fault_plan.msg_drop_rate = args.drop_rate;
   options.fault_plan.checkpoint_interval = args.ckpt_interval;
   options.fault_plan.worker_crash_schedule = args.crashes;
@@ -352,8 +396,10 @@ int ExportObservability(const Args& args, const RuntimeOptions& options,
 
 /// The "serve" mode: replay a query log through flash::serving::Server
 /// (docs/SERVING.md). Submissions are stamped with an offered-load clock
-/// (--serve-qps; 0 = one burst at t=0); latencies and throughput are
-/// modelled cluster time, not wall time.
+/// (--serve-qps; 0 = one burst at t=0): by default a deterministic Poisson
+/// process (counter-PRNG exponential interarrivals keyed --serve-seed), or
+/// the evenly spaced legacy clock with --serve-arrivals=fixed. Latencies
+/// and throughput are modelled cluster time, not wall time.
 int RunServe(const Args& args, const GraphPtr& graph,
              const RuntimeOptions& options) {
   if (args.serve_replay.empty()) {
@@ -384,11 +430,19 @@ int RunServe(const Args& args, const GraphPtr& graph,
   server_options.cluster.nodes = options.num_workers;
   serving::Server server(graph, options, server_options);
 
-  const double interarrival_s =
-      args.serve_qps > 0 ? 1.0 / args.serve_qps : 0.0;
+  std::vector<double> arrivals;
+  if (args.serve_arrivals == "poisson") {
+    arrivals = serving::PoissonArrivalTimes(queries.size(), args.serve_qps,
+                                            args.serve_seed);
+  } else if (args.serve_arrivals == "fixed") {
+    arrivals = serving::FixedArrivalTimes(queries.size(), args.serve_qps);
+  } else {
+    std::fprintf(stderr, "unknown --serve-arrivals=%s (poisson | fixed)\n",
+                 args.serve_arrivals.c_str());
+    return 2;
+  }
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto id_or =
-        server.Submit(queries[i], static_cast<double>(i) * interarrival_s);
+    auto id_or = server.Submit(queries[i], arrivals[i]);
     if (!id_or.ok() && !id_or.status().IsOutOfRange()) {
       std::fprintf(stderr, "query %zu rejected: %s\n", i,
                    id_or.status().ToString().c_str());
@@ -442,6 +496,65 @@ void WriteVector(const std::string& path, const std::vector<T>& values) {
   std::ofstream out(path);
   for (const T& v : values) out << v << "\n";
   std::printf("per-vertex results written to %s\n", path.c_str());
+}
+
+/// The "walk" mode: run the walker-centric random-walk engine
+/// (docs/INTERNALS.md, "Random-walk engine"). deepwalk and node2vec write
+/// one walk per output line (the skip-gram training corpus); ppr writes the
+/// Monte-Carlo rank vector in the same per-vertex format as the
+/// power-iteration algorithms.
+int RunWalk(const Args& args, const GraphPtr& graph,
+            const RuntimeOptions& options) {
+  Metrics metrics;
+  if (args.walk_kind == "ppr") {
+    auto r = walks::RunWalkPpr(graph, args.root, options, args.alpha,
+                               args.walk_seed);
+    std::printf("walk-ppr from %u: %llu walkers, %llu visits counted\n",
+                args.root,
+                static_cast<unsigned long long>(options.num_walkers),
+                static_cast<unsigned long long>(r.total_visits));
+    WriteVector(args.output, r.rank);
+    metrics = std::move(r.metrics);
+  } else if (args.walk_kind == "deepwalk" || args.walk_kind == "node2vec") {
+    std::vector<std::vector<VertexId>> corpus;
+    if (args.walk_kind == "deepwalk") {
+      auto r = walks::RunDeepWalk(graph, options, args.walk_seed);
+      corpus = std::move(r.walks);
+      metrics = std::move(r.metrics);
+    } else {
+      auto r = walks::RunNode2Vec(graph, options, args.walk_seed);
+      corpus = std::move(r.walks);
+      metrics = std::move(r.metrics);
+    }
+    uint64_t hops = 0;
+    for (const auto& walk : corpus) {
+      hops += walk.empty() ? 0 : walk.size() - 1;
+    }
+    std::printf("%s: %zu walks, %.2f mean hops\n", args.walk_kind.c_str(),
+                corpus.size(),
+                corpus.empty()
+                    ? 0.0
+                    : static_cast<double>(hops) / corpus.size());
+    if (!args.output.empty()) {
+      std::ofstream out(args.output);
+      for (const auto& walk : corpus) {
+        for (size_t i = 0; i < walk.size(); ++i) {
+          if (i > 0) out << ' ';
+          out << walk[i];
+        }
+        out << '\n';
+      }
+      std::printf("walk corpus written to %s\n", args.output.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "unknown --walk-kind=%s (deepwalk | node2vec | ppr)\n",
+                 args.walk_kind.c_str());
+    return 2;
+  }
+  if (args.metrics) {
+    std::printf("metrics: %s\n", metrics.ToString().c_str());
+  }
+  return ExportObservability(args, options, metrics);
 }
 
 /// Spills `graph` to a temp block file and reopens it through the paged
@@ -502,6 +615,9 @@ int Run(const Args& args) {
 
   if (a == "serve") {
     return RunServe(args, graph, options);
+  }
+  if (a == "walk") {
+    return RunWalk(args, graph, options);
   }
   if (a == "bfs") {
     auto r = algo::RunBfs(graph, args.root, options);
