@@ -251,6 +251,29 @@ class AsyncEngine {
     std::vector<StepTally> worker_tally(num_workers_);
     prev_inserts_ = inserts_;
     prev_drains_ = drains_;
+    // Plan-ahead paging: each round's block set is knowable before its drain
+    // starts — exactly the live entries of every worker's lowest non-empty
+    // bucket. Hand that set to the paged backend as a plan so block loads
+    // run on the storage pipeline (sweep or prefetch) instead of demand-
+    // faulting inside the drain. Disabled (async_plan_blocks=false) the
+    // engine reverts to pure demand paging, billing its reads to the next
+    // BSP barrier — the pre-plan baseline the storage bench compares
+    // against. Pure bookkeeping either way: results never change.
+    const bool planned = api_.storage_paged_ && api_.options_.async_plan_blocks;
+    if (planned) {
+      api_.storage_->BeginEpoch();
+      plan_scratch_.clear();
+      for (int w = 0; w < num_workers_; ++w) {
+        if (total_queued_[w] == 0) continue;
+        uint32_t b = floor_[w];
+        while (b < counts_[w].size() && counts_[w][b] == 0) ++b;
+        if (b >= counts_[w].size()) continue;
+        for (const VertexId v : buckets_[w][b]) {
+          if (queued_prio_[v] == b) plan_scratch_.push_back(v);
+        }
+      }
+      api_.storage_->PlanBlocks(plan_scratch_, /*out_dir=*/true);
+    }
     {
       ScopedTimer compute_timer(&api_.metrics_.compute_seconds);
       api_.RunPerWorker("async:drain", [&](int w) {
@@ -279,6 +302,13 @@ class AsyncEngine {
         worker_tally[w].seconds = seconds;
         worker_seconds_[w] += seconds;
       });
+    }
+    if (planned) {
+      const EpochIo io = api_.storage_->EndEpoch();
+      sample.storage_bytes = io.bytes;
+      sample.storage_blocks = io.blocks;
+      sample.storage_decode_bytes = io.decode_bytes;
+      api_.metrics_.storage = api_.storage_->stats();
     }
     FoldTallies(task_tally, shards, worker_tally, sample);
     uint64_t drained = 0;
@@ -314,6 +344,9 @@ class AsyncEngine {
     m.vertices_updated += sample.verts_total;
     m.messages += sample.msgs_total;
     m.bytes += sample.bytes_total;
+    m.storage_bytes_read += sample.storage_bytes;
+    m.storage_blocks_read += sample.storage_blocks;
+    m.storage_decode_bytes += sample.storage_decode_bytes;
     if (api_.options_.record_steps) m.steps.push_back(sample);
   }
 
@@ -557,6 +590,7 @@ class AsyncEngine {
   std::vector<double> worker_seconds_;  // Cumulative per-worker compute.
   std::vector<std::vector<WireLane>> lanes_;  // [src][dst] outbound lanes.
   std::vector<std::vector<WireId>> ids_scratch_;
+  std::vector<VertexId> plan_scratch_;  // Round plan ids (host thread only).
 
   // Conservation ledger: per-channel counters since Run() began.
   std::vector<uint64_t> sent_base_;

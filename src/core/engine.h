@@ -1237,6 +1237,7 @@ class GraphApi {
       const EpochIo io = storage_->EndEpoch();
       sample.storage_bytes = io.bytes;
       sample.storage_blocks = io.blocks;
+      sample.storage_decode_bytes = io.decode_bytes;
       // Next superstep's frontier, flattened before `out` is consumed:
       // handed to the prefetch pipeline below so block loads overlap the
       // gap between supersteps.

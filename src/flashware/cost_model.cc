@@ -22,6 +22,7 @@ std::string ModeledTime::ToString() const {
   out << total << "s (compute=" << compute << " comm=" << comm
       << " ser=" << serialize << " other=" << other;
   if (io > 0) out << " io=" << io;
+  if (decode > 0) out << " decode=" << decode;
   if (recovery > 0) out << " recovery=" << recovery;
   out << ")";
   return out.str();
@@ -40,6 +41,8 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
   double async_comm = 0;
   double async_serialize = 0;
   double async_sync = 0;
+  double async_io = 0;
+  double async_decode = 0;
   for (const StepSample& step : metrics.steps) {
     if (step.kind == StepKind::kAsyncRound) {
       async_serialize += step.bytes_max * 0.25e-9;
@@ -49,6 +52,17 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
             1e-9 * config.ns_per_message *
                 static_cast<double>(step.msgs_total) / config.nodes;
       }
+      // Plan-ahead paging gives async rounds the same overlapped storage
+      // pipeline as BSP supersteps; accumulate their I/O and decode volumes
+      // into the run-level async overlap below.
+      if (step.storage_bytes > 0 || step.storage_blocks > 0) {
+        async_io += static_cast<double>(step.storage_bytes) /
+                        config.storage_bytes_per_second +
+                    static_cast<double>(step.storage_blocks) *
+                        config.storage_block_latency_seconds;
+      }
+      async_decode += static_cast<double>(step.storage_decode_bytes) /
+                      config.storage_decode_bytes_per_second;
       async_sync += config.relaxed_sync_seconds;
       continue;
     }
@@ -110,15 +124,20 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
            static_cast<double>(step.storage_blocks) *
                config.storage_block_latency_seconds;
     }
+    // Decode is priced on decoded payload bytes — a codec-invariant volume —
+    // and overlaps compute on the prefetch pipeline like the reads it trails.
+    const double decode = static_cast<double>(step.storage_decode_bytes) /
+                          config.storage_decode_bytes_per_second;
 
     double step_time;
     if (config.overlap_comm_compute) {
-      // The prefetch pipeline overlaps block reads with compute the same
-      // way the bus overlaps network traffic: the slowest of the three
-      // resources gates the superstep.
-      step_time = std::max(compute, std::max(comm, io)) + serialize;
+      // The prefetch pipeline overlaps block reads (and their decode) with
+      // compute the same way the bus overlaps network traffic: the slowest
+      // of the four resources gates the superstep.
+      step_time =
+          std::max(std::max(compute, decode), std::max(comm, io)) + serialize;
     } else {
-      step_time = compute + comm + serialize + io;
+      step_time = compute + comm + serialize + io + decode;
     }
     step_time += config.barrier_seconds;
 
@@ -126,6 +145,7 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
     result.comm += comm;
     result.serialize += serialize;
     result.io += io;
+    result.decode += decode;
     result.other += config.barrier_seconds;
     result.total += step_time;
   }
@@ -140,14 +160,19 @@ ModeledTime ModelTime(const Metrics& metrics, const ClusterConfig& config) {
         static_cast<double>(async.token_sweeps) * config.token_sweep_seconds;
     double async_time;
     if (config.overlap_comm_compute) {
-      async_time = std::max(async_compute, async_comm) + async_serialize;
+      async_time = std::max(std::max(async_compute, async_decode),
+                            std::max(async_comm, async_io)) +
+                   async_serialize;
     } else {
-      async_time = async_compute + async_comm + async_serialize;
+      async_time = async_compute + async_comm + async_serialize + async_io +
+                   async_decode;
     }
     async_time += async_sync + sweeps;
     result.compute += async_compute;
     result.comm += async_comm;
     result.serialize += async_serialize;
+    result.io += async_io;
+    result.decode += async_decode;
     result.other += async_sync + sweeps;
     result.total += async_time;
   }

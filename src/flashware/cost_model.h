@@ -79,6 +79,11 @@ struct ClusterConfig {
   // block reads overlap compute exactly like network traffic does.
   double storage_bytes_per_second = 2.5e9;
   double storage_block_latency_seconds = 30e-6;
+  // Block-payload decode throughput (checksum + varint-delta expansion or
+  // raw copy), priced on *decoded* bytes so the term is codec-invariant:
+  // the delta codec trades fewer file bytes for the same decode volume.
+  // Decode runs on the prefetch pipeline and overlaps compute like I/O.
+  double storage_decode_bytes_per_second = 4.0e9;
 
   /// Ratio of the modelled cluster core's speed to the host core that ran
   /// the simulation (measured per-superstep compute seconds are divided by
@@ -118,6 +123,7 @@ struct ModeledTime {
   double other = 0;  // Barriers and bookkeeping.
   double recovery = 0;  // Checkpoint writes + crash restores + log replay.
   double io = 0;  // Storage-tier block reads (paged backend only).
+  double decode = 0;  // Block-payload decode (paged backend only).
   double total = 0;
 
   std::string ToString() const;

@@ -78,6 +78,7 @@ void Metrics::Absorb(const Metrics& other) {
 
   storage_bytes_read += other.storage_bytes_read;
   storage_blocks_read += other.storage_blocks_read;
+  storage_decode_bytes += other.storage_decode_bytes;
   // Backend-lifetime counters: composed runs share one backend, so each
   // snapshot supersedes the previous — element-wise max keeps the latest.
   storage.MergeMax(other.storage);

@@ -45,6 +45,10 @@ struct StepSample {
   /// Counted exactly like wire bytes: deterministic at any host threads.
   uint64_t storage_bytes = 0;
   uint64_t storage_blocks = 0;
+  /// Decoded payload bytes those block reads produced. Identical across
+  /// block codecs (raw decode is a copy; delta decode expands), so the cost
+  /// model's decode term is codec-invariant while storage_bytes shrinks.
+  uint64_t storage_decode_bytes = 0;
 };
 
 /// Single-writer work tallies for one (worker, shard) compute task or one
@@ -194,6 +198,7 @@ struct Metrics {
   /// Storage-tier totals for this run (zero for in-memory graphs).
   uint64_t storage_bytes_read = 0;
   uint64_t storage_blocks_read = 0;
+  uint64_t storage_decode_bytes = 0;
   /// Lifetime counters of the run's storage backend, snapshotted at the
   /// last superstep barrier (quiesced — trailing prefetch never leaks in).
   StorageStats storage;
@@ -215,6 +220,7 @@ struct Metrics {
     if (sample.kind == StepKind::kEdgeMapSparse) ++sparse_steps;
     storage_bytes_read += sample.storage_bytes;
     storage_blocks_read += sample.storage_blocks;
+    storage_decode_bytes += sample.storage_decode_bytes;
     if (record_steps) steps.push_back(sample);
   }
 

@@ -124,6 +124,14 @@ struct RuntimeOptions {
   /// scheduling. Negative keeps the backend's configured fraction.
   double storage_dense_fraction = -1.0;
 
+  /// Plan-ahead paging for the async engine: before each micro-round's
+  /// drain, the engine derives the round's edge-block set from the queued
+  /// bucket contents and hands it to the paged backend as a plan, so block
+  /// loads overlap the drain instead of demand-faulting inside it. Disable
+  /// to reproduce the demand-only paging baseline (bench comparisons).
+  /// Ignored by in-memory graphs; never affects results or frontiers.
+  bool async_plan_blocks = true;
+
   /// Number of concurrent walkers the random-walk engine (src/walks/)
   /// launches. DeepWalk/node2vec start walker i at vertex i mod |V| (so
   /// num_walkers = k*|V| gives k walks per vertex); walk-based PPR starts

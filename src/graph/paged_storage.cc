@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "obs/tracer.h"
 
 namespace flash {
@@ -77,14 +78,25 @@ Result<std::shared_ptr<PagedStorage>> PagedStorage::Open(
   FLASH_RETURN_NOT_OK(s->ReadRange(0, sizeof(BlockFileHeader), scratch));
   BlockFileHeader header;
   std::memcpy(&header, scratch.data(), sizeof(header));
-  if (std::memcmp(header.magic, kBlockFileMagic, sizeof(kBlockFileMagic)) !=
-      0) {
+  const bool v1 = std::memcmp(header.magic, kBlockFileMagic,
+                              sizeof(kBlockFileMagic)) == 0;
+  const bool v2 = std::memcmp(header.magic, kBlockFileMagicV2,
+                              sizeof(kBlockFileMagicV2)) == 0;
+  if (!v1 && !v2) {
     return Status::InvalidArgument(path + ": not a flash block file");
   }
-  if (header.version != kBlockFileVersion) {
+  if (header.version != (v1 ? kBlockFileVersion : kBlockFileVersionV2)) {
     return Status::InvalidArgument(path + ": unsupported block file version " +
                                    std::to_string(header.version));
   }
+  // Version 1 wrote zero padding where version 2 stores the codec, so v1
+  // files land on kRaw without a special case; anything else is corruption.
+  if (header.codec > static_cast<uint32_t>(BlockCodec::kDelta) ||
+      (v1 && header.codec != static_cast<uint32_t>(BlockCodec::kRaw))) {
+    return Status::InvalidArgument(path + ": unsupported block codec " +
+                                   std::to_string(header.codec));
+  }
+  s->codec_ = static_cast<BlockCodec>(header.codec);
   s->num_vertices_ = header.num_vertices;
   s->num_edges_ = header.num_edges;
   s->symmetric_ = header.symmetric != 0;
@@ -143,10 +155,25 @@ Result<std::shared_ptr<PagedStorage>> PagedStorage::Open(
       expected_first = meta.first_vertex + meta.vertex_count;
       const uint64_t edge_count =
           d->offsets[expected_first] - d->offsets[meta.first_vertex];
-      const uint64_t payload =
-          edge_count * (s->weighted_ ? sizeof(VertexId) + sizeof(float)
-                                     : sizeof(VertexId));
-      if (meta.stored_bytes != sizeof(BlockHeader) + payload) {
+      const uint64_t weight_bytes =
+          s->weighted_ ? edge_count * sizeof(float) : 0;
+      // Raw payloads have exactly one size; delta payloads range from one
+      // byte per edge (dense sorted runs) to the five-byte varint ceiling.
+      // Either way a lying index is caught here, before any extent is read.
+      bool size_ok;
+      if (s->codec_ == BlockCodec::kRaw) {
+        size_ok = meta.stored_bytes ==
+                  sizeof(BlockHeader) + edge_count * sizeof(VertexId) +
+                      weight_bytes;
+      } else {
+        const uint64_t lo = sizeof(BlockHeader) + edge_count + weight_bytes;
+        const uint64_t hi = sizeof(BlockHeader) +
+                            edge_count * kMaxDeltaBytesPerEdge + weight_bytes;
+        size_ok = edge_count == 0
+                      ? meta.stored_bytes == sizeof(BlockHeader)
+                      : meta.stored_bytes >= lo && meta.stored_bytes <= hi;
+      }
+      if (!size_ok) {
         return Status::InvalidArgument(path + ": " + what + " block " +
                                        std::to_string(i) +
                                        " size disagrees with the offsets");
@@ -214,6 +241,14 @@ uint32_t PagedStorage::BlockOf(const Direction& d, VertexId v) const {
   return static_cast<uint32_t>(it - d.block_first.begin() - 1);
 }
 
+uint64_t PagedStorage::DecodedPayloadBytes(const Direction& d,
+                                           const BlockMeta& meta) const {
+  const uint64_t edge_count =
+      d.offsets[meta.first_vertex + meta.vertex_count] -
+      d.offsets[meta.first_vertex];
+  return edge_count * (sizeof(VertexId) + (weighted_ ? sizeof(float) : 0));
+}
+
 Result<PagedStorage::DecodedBlock> PagedStorage::DecodeBlock(
     const Direction& d, uint32_t block,
     const std::vector<uint8_t>& bytes) const {
@@ -248,20 +283,55 @@ Result<PagedStorage::DecodedBlock> PagedStorage::DecodeBlock(
   decoded.first_edge = first_edge;
   decoded.stored_bytes = meta.stored_bytes;
   decoded.targets.resize(edge_count);
-  std::memcpy(decoded.targets.data(), payload,
-              edge_count * sizeof(VertexId));
-  for (VertexId t : decoded.targets) {
-    if (t >= num_vertices_) {
-      return Status::OutOfRange(path_ + ": " + what + " block " +
-                                std::to_string(block) +
-                                " stores an out-of-range vertex id");
+  if (codec_ == BlockCodec::kRaw) {
+    std::memcpy(decoded.targets.data(), payload,
+                edge_count * sizeof(VertexId));
+    for (VertexId t : decoded.targets) {
+      if (t >= num_vertices_) {
+        return Status::OutOfRange(path_ + ": " + what + " block " +
+                                  std::to_string(block) +
+                                  " stores an out-of-range vertex id");
+      }
+    }
+    if (weighted_) {
+      decoded.weights.resize(edge_count);
+      std::memcpy(decoded.weights.data(),
+                  payload + edge_count * sizeof(VertexId),
+                  edge_count * sizeof(float));
+    }
+    return decoded;
+  }
+  // Delta codec: one varint list per vertex, degree taken from the
+  // RAM-resident offsets; weights follow as raw floats. The decoder rejects
+  // truncation, over-long varints, and out-of-range deltas, and a payload
+  // must be consumed exactly — trailing bytes behind a valid checksum are
+  // still corruption.
+  BufferReader reader(payload, payload_size);
+  const VertexId end_vertex = meta.first_vertex + meta.vertex_count;
+  for (VertexId v = meta.first_vertex; v < end_vertex; ++v) {
+    const size_t degree = static_cast<size_t>(d.offsets[v + 1] - d.offsets[v]);
+    const Status st = DecodeAdjacency(
+        reader, degree, num_vertices_,
+        decoded.targets.data() + (d.offsets[v] - first_edge));
+    if (!st.ok()) {
+      return Status::InvalidArgument(path_ + ": " + what + " block " +
+                                     std::to_string(block) + ": " +
+                                     st.message());
     }
   }
   if (weighted_) {
+    if (reader.remaining() != edge_count * sizeof(float)) {
+      return Status::InvalidArgument(path_ + ": " + what + " block " +
+                                     std::to_string(block) +
+                                     " weight section size mismatch");
+    }
     decoded.weights.resize(edge_count);
-    std::memcpy(decoded.weights.data(),
-                payload + edge_count * sizeof(VertexId),
-                edge_count * sizeof(float));
+    reader.ReadRaw(decoded.weights.data(), edge_count * sizeof(float));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(path_ + ": " + what + " block " +
+                                   std::to_string(block) +
+                                   " has trailing payload bytes");
   }
   return decoded;
 }
@@ -284,8 +354,12 @@ PagedStorage::DecodedBlock* PagedStorage::LoadBlock(Direction& d,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.blocks_read;
     stats_.bytes_read += meta.stored_bytes;
+    // Decode output is priced in decoded bytes so the counter — and the cost
+    // model term it feeds — is identical across codecs.
+    stats_.decode_bytes += heap->MemoryBytes();
     ++epoch_blocks_;
     epoch_bytes_ += meta.stored_bytes;
+    epoch_decode_bytes_ += heap->MemoryBytes();
     resident_bytes_ += heap->MemoryBytes();
   }
   if (tracer_ != nullptr && !t_on_io_thread) {
@@ -311,6 +385,14 @@ const PagedStorage::DecodedBlock* PagedStorage::EnsureBlock(
     slot.last_used.store(epoch_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
     epoch_accesses_.fetch_add(1, std::memory_order_relaxed);
+    // Demand miss: the block was neither resident at the barrier nor in this
+    // epoch's plan. Judged against barrier-time state (both fields are
+    // driving-thread-written), not against who happened to load the block —
+    // that keeps the count schedule-invariant under racing compute threads.
+    if (!slot.resident_mark &&
+        slot.plan_epoch != epoch_.load(std::memory_order_relaxed)) {
+      epoch_demand_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return data;
 }
@@ -413,7 +495,10 @@ void PagedStorage::PlanBlocks(std::span<const VertexId> vertices,
     Slot& slot = d.slots[bi];
     if (slot.resident_mark || slot.plan_epoch == cur_epoch) continue;
     needed.push_back(bi);
-    needed_bytes += d.metas[bi].stored_bytes - sizeof(BlockHeader);
+    // Plan against decoded (cache-resident) bytes, not stored bytes: the
+    // dense/sparse decision then lands the same way for every codec, which
+    // keeps all counters except bytes_read codec-invariant.
+    needed_bytes += DecodedPayloadBytes(d, d.metas[bi]);
   }
   if (needed.empty()) return;
   const double coverage = static_cast<double>(needed.size()) /
@@ -447,7 +532,7 @@ void PagedStorage::PlanSweep(bool out_dir, uint64_t frontier_size) {
   if (d.metas.empty()) return;
   uint64_t total_bytes = 0;
   for (const BlockMeta& meta : d.metas) {
-    total_bytes += meta.stored_bytes - sizeof(BlockHeader);
+    total_bytes += DecodedPayloadBytes(d, meta);  // codec-invariant decision
   }
   const bool dense =
       static_cast<double>(frontier_size) >=
@@ -571,9 +656,13 @@ EpochIo PagedStorage::EndEpoch() {
     std::lock_guard<std::mutex> lock(stats_mu_);
     io.bytes = epoch_bytes_;
     io.blocks = epoch_blocks_;
+    io.decode_bytes = epoch_decode_bytes_;
     epoch_bytes_ = 0;
     epoch_blocks_ = 0;
+    epoch_decode_bytes_ = 0;
     stats_.accesses += epoch_accesses_.exchange(0, std::memory_order_relaxed);
+    stats_.demand_misses +=
+        epoch_demand_misses_.exchange(0, std::memory_order_relaxed);
     stats_.peak_resident_bytes =
         std::max(stats_.peak_resident_bytes, resident_bytes_);
     resident_now = resident_bytes_;
@@ -628,6 +717,7 @@ StorageStats PagedStorage::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   StorageStats copy = stats_;
   copy.accesses += epoch_accesses_.load(std::memory_order_relaxed);
+  copy.demand_misses += epoch_demand_misses_.load(std::memory_order_relaxed);
   return copy;
 }
 

@@ -18,35 +18,64 @@
 
 namespace flash {
 
-/// On-disk edge-block file ("FLSHBLK1", version 1) — the semi-external
-/// format behind PagedStorage. Layout, in file order:
+/// On-disk edge-block file ("FLSHBLK1" version 1 raw, "FLSHBLK2" version 2
+/// codec-tagged) — the semi-external format behind PagedStorage. Layout, in
+/// file order (identical across versions; only block payloads differ):
 ///
 ///   BlockFileHeader                       (56 bytes, validated magic)
 ///   out_offsets   EdgeId[n + 1]           (CSR offsets; RAM-resident)
 ///   in_offsets    EdgeId[n + 1]
 ///   out index     BlockMeta[num_out_blocks]
 ///   in index      BlockMeta[num_in_blocks]
-///   blocks        each: BlockHeader + targets u32[] (+ weights f32[])
+///   blocks        each: BlockHeader + payload
+///
+/// A version-1 payload is raw: targets u32[] (+ weights f32[]). A version-2
+/// payload is codec-tagged by the header's `codec` field — kRaw repeats the
+/// v1 layout; kDelta stores each vertex's neighbor list as varint deltas
+/// (EncodeAdjacency in common/serialize.h; sorted lists take plain deltas,
+/// the zigzag fallback covers arbitrary orders) followed by raw f32 weights.
+/// List lengths are never stored: the decoder derives every degree from the
+/// RAM-resident offsets. Version-1 files read transparently — their header
+/// byte at the `codec` slot was written as zero padding, which is exactly
+/// BlockCodec::kRaw.
 ///
 /// Blocks are vertex-aligned: each covers a contiguous vertex range whose
-/// adjacency payload is packed until it reaches the nominal
+/// *decoded* adjacency payload is packed until it reaches the nominal
 /// `block_payload_target` bytes, so a vertex's full list is always inside
 /// one block (hub vertices get an oversized block of their own) and spans
-/// into the decoded block stay contiguous. Zero-degree vertices cost zero
+/// into the decoded block stay contiguous. Partitioning on decoded — not
+/// stored — bytes keeps block boundaries, plans, and every counter except
+/// bytes_read identical across codecs. Zero-degree vertices cost zero
 /// payload; together the per-direction ranges cover [0, n) exactly.
 ///
 /// Integrity: `meta_checksum` (FNV-1a) covers the header (with this field
 /// zeroed), both offset arrays, and both indices; each block carries an
-/// FNV-1a checksum of its payload plus a header that must agree with the
-/// index and the offsets. Open() validates all metadata — any truncation
-/// fails there because every block's extent is bounds-checked against the
-/// file size — and every block load re-validates header, checksum, and
-/// target range before a span is ever handed out.
+/// FNV-1a checksum of its stored payload plus a header that must agree with
+/// the index and the offsets. Open() validates all metadata — any
+/// truncation fails there because every block's extent is bounds-checked
+/// against the file size — and every block load re-validates header,
+/// checksum, and target range (the delta decoder additionally rejects
+/// truncated lists, over-long varints, out-of-range deltas, and trailing
+/// bytes with a Status) before a span is ever handed out.
 
 inline constexpr char kBlockFileMagic[8] = {'F', 'L', 'S', 'H',
                                             'B', 'L', 'K', '1'};
+inline constexpr char kBlockFileMagicV2[8] = {'F', 'L', 'S', 'H',
+                                              'B', 'L', 'K', '2'};
 inline constexpr uint32_t kBlockFileVersion = 1;
+inline constexpr uint32_t kBlockFileVersionV2 = 2;
 inline constexpr uint32_t kBlockHeaderMagic = 0xB10CFA5Eu;
+
+/// Block payload encoding of a version-2 file. Version-1 files carry zero
+/// padding in the header's codec slot, so they alias kRaw by construction.
+enum class BlockCodec : uint32_t {
+  kRaw = 0,    // u32 targets (+ f32 weights), memcpy-decoded.
+  kDelta = 1,  // Per-vertex varint deltas (+ raw f32 weights).
+};
+
+/// Upper bound on the stored bytes one edge can take under kDelta: a 33-bit
+/// zigzagged delta spans five varint bytes.
+inline constexpr uint64_t kMaxDeltaBytesPerEdge = 5;
 
 // Fnv1a64 (the block checksum function) moved to common/hash.h so the
 // walker wire-frame codec can share it without depending on graph/.
@@ -60,7 +89,7 @@ struct BlockFileHeader {
   uint32_t num_vertices = 0;
   uint32_t num_out_blocks = 0;
   uint32_t num_in_blocks = 0;
-  uint32_t pad1 = 0;
+  uint32_t codec = 0;  // BlockCodec; zero (= kRaw) in version-1 files.
   uint64_t num_edges = 0;
   uint64_t block_payload_target = 0;
   uint64_t meta_checksum = 0;
@@ -152,6 +181,7 @@ class PagedStorage final : public GraphStorage {
 
   bool symmetric() const { return symmetric_; }
   bool weighted() const { return weighted_; }
+  BlockCodec codec() const { return codec_; }
   const std::string& path() const { return path_; }
   const std::vector<BlockMeta>& block_index(bool out_dir) const {
     return out_dir ? out_.metas : in_.metas;
@@ -206,6 +236,13 @@ class PagedStorage final : public GraphStorage {
   Direction& dir(bool out_dir) { return out_dir ? out_ : in_; }
   uint32_t BlockOf(const Direction& d, VertexId v) const;
 
+  /// Decoded payload bytes of one block (targets + weights) — derived from
+  /// the offsets, so it is codec-invariant. Cache budgeting and plan
+  /// decisions use this, never the stored size, which keeps every counter
+  /// except bytes_read identical across codecs.
+  uint64_t DecodedPayloadBytes(const Direction& d, const BlockMeta& meta)
+      const;
+
   /// Loads `block` if absent (per-slot mutex dedups concurrent loaders) and
   /// returns its decoded data. `count_access` stamps LRU recency and the
   /// access counter — false for prefetch/sweep loads.
@@ -236,6 +273,7 @@ class PagedStorage final : public GraphStorage {
   EdgeId num_edges_ = 0;
   bool symmetric_ = false;
   bool weighted_ = false;
+  BlockCodec codec_ = BlockCodec::kRaw;
 
   Direction out_;
   Direction in_;
@@ -248,12 +286,14 @@ class PagedStorage final : public GraphStorage {
 
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint64_t> epoch_accesses_{0};
+  std::atomic<uint64_t> epoch_demand_misses_{0};
   uint64_t epoch_enqueued_ = 0;  // Driving thread only.
 
   mutable std::mutex stats_mu_;  // Guards stats_ and epoch byte deltas.
   StorageStats stats_;
   uint64_t epoch_bytes_ = 0;
   uint64_t epoch_blocks_ = 0;
+  uint64_t epoch_decode_bytes_ = 0;
   uint64_t resident_bytes_ = 0;
 
   // Async prefetch pipeline: one IO thread, started lazily.

@@ -9,12 +9,14 @@ void StorageStats::MergeMax(const StorageStats& other) {
   accesses = std::max(accesses, other.accesses);
   blocks_read = std::max(blocks_read, other.blocks_read);
   bytes_read = std::max(bytes_read, other.bytes_read);
+  decode_bytes = std::max(decode_bytes, other.decode_bytes);
   stream_bytes = std::max(stream_bytes, other.stream_bytes);
   prefetch_issued = std::max(prefetch_issued, other.prefetch_issued);
   evictions = std::max(evictions, other.evictions);
   epochs = std::max(epochs, other.epochs);
   dense_plans = std::max(dense_plans, other.dense_plans);
   sparse_plans = std::max(sparse_plans, other.sparse_plans);
+  demand_misses = std::max(demand_misses, other.demand_misses);
   peak_resident_bytes = std::max(peak_resident_bytes,
                                  other.peak_resident_bytes);
 }
@@ -22,10 +24,12 @@ void StorageStats::MergeMax(const StorageStats& other) {
 std::string StorageStats::ToString() const {
   std::ostringstream out;
   out << "accesses=" << accesses << " blocks=" << blocks_read
-      << " bytes=" << bytes_read << " stream_bytes=" << stream_bytes
+      << " bytes=" << bytes_read << " decode_bytes=" << decode_bytes
+      << " stream_bytes=" << stream_bytes
       << " prefetch=" << prefetch_issued << " evictions=" << evictions
       << " epochs=" << epochs << " dense=" << dense_plans
-      << " sparse=" << sparse_plans << " peak_resident=" << peak_resident_bytes;
+      << " sparse=" << sparse_plans << " demand_misses=" << demand_misses
+      << " peak_resident=" << peak_resident_bytes;
   return out.str();
 }
 

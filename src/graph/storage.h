@@ -26,20 +26,28 @@ struct StorageStats {
   uint64_t accesses = 0;        // Non-empty adjacency span requests served.
   uint64_t blocks_read = 0;     // Block loads from disk (demand + prefetch).
   uint64_t bytes_read = 0;      // File bytes of those block loads.
+  uint64_t decode_bytes = 0;    // Decoded payload bytes those loads produced.
   uint64_t stream_bytes = 0;    // Cache-bypassing sequential edge scans.
   uint64_t prefetch_issued = 0; // Blocks enqueued to the async IO thread.
   uint64_t evictions = 0;       // Blocks dropped at epoch barriers.
   uint64_t epochs = 0;          // BeginEpoch calls (one per superstep).
   uint64_t dense_plans = 0;     // Epochs scheduled as a sweep load.
   uint64_t sparse_plans = 0;    // Epochs scheduled demand + prefetch.
+  /// Accesses to blocks that were neither resident at the epoch barrier nor
+  /// planned/prefetched for this epoch — reads that stall on a synchronous
+  /// load instead of hitting the plan-ahead pipeline. Attributed against
+  /// barrier-time state (resident marks + the plan set), both written only
+  /// by the driving thread, so the count is schedule-invariant even though
+  /// the accesses themselves race.
+  uint64_t demand_misses = 0;
   uint64_t peak_resident_bytes = 0;  // Max cached block bytes at a barrier.
 
   bool operator==(const StorageStats&) const = default;
 
   bool Any() const {
-    return accesses | blocks_read | bytes_read | stream_bytes |
+    return accesses | blocks_read | bytes_read | decode_bytes | stream_bytes |
            prefetch_issued | evictions | epochs | dense_plans | sparse_plans |
-           peak_resident_bytes;
+           demand_misses | peak_resident_bytes;
   }
 
   /// Element-wise max. Because every field is monotonic, merging snapshots
@@ -51,12 +59,14 @@ struct StorageStats {
 };
 
 /// Per-epoch I/O delta returned by GraphStorage::EndEpoch: the block file
-/// bytes/blocks read since the previous barrier. The engine copies these
-/// into the superstep's StepSample, where the cost model prices them
-/// exactly like wire bytes.
+/// bytes/blocks read — and the decoded payload bytes those reads produced —
+/// since the previous barrier. The engine copies these into the superstep's
+/// StepSample, where the cost model prices file bytes like wire bytes and
+/// decode bytes as a fourth overlapped resource.
 struct EpochIo {
   uint64_t bytes = 0;
   uint64_t blocks = 0;
+  uint64_t decode_bytes = 0;
 };
 
 /// Backend behind Graph's adjacency accessors. Two implementations:

@@ -189,10 +189,14 @@ Registry BuildRegistry(const flash::Metrics& metrics,
               "Edge-block file bytes read during this run's supersteps");
   reg.Counter("flash_storage_blocks_read_total", metrics.storage_blocks_read,
               "Edge blocks loaded during this run's supersteps");
+  reg.Counter("flash_storage_decode_bytes_total", metrics.storage_decode_bytes,
+              "Decoded block payload bytes produced during this run");
   if (metrics.storage.Any()) {
     const StorageStats& st = metrics.storage;
     reg.Counter("flash_storage_accesses_total", st.accesses,
                 "Adjacency span requests served by the paged backend");
+    reg.Counter("flash_storage_demand_miss_total", st.demand_misses,
+                "Accesses that stalled on an unplanned synchronous load");
     reg.Counter("flash_storage_stream_bytes_total", st.stream_bytes,
                 "Cache-bypassing sequential edge-scan bytes");
     reg.Counter("flash_storage_prefetch_issued_total", st.prefetch_issued,

@@ -112,6 +112,10 @@ void ServingStats::ExportTo(obs::Registry& registry) const {
                    "Batches cut and executed");
   registry.Counter("flash_serving_engine_passes_total", engine_passes,
                    "Engine passes run on behalf of batches");
+  registry.Counter("flash_serving_cache_hit_total", cache_hits,
+                   "Queries answered from the cross-batch result cache");
+  registry.Counter("flash_serving_cache_miss_total", cache_misses,
+                   "Cacheable queries that required an engine pass");
   for (const auto& [tenant, t] : tenants) {
     const obs::MetricLabels labels = {{"tenant", tenant}};
     registry.Counter("flash_serving_tenant_submitted_total", labels,
@@ -300,15 +304,40 @@ Metrics Server::AnswerBatch(const Batch& batch, std::vector<double>& values) {
 
 void Server::AnswerBfsDistance(const Batch& batch, std::vector<double>& values,
                                Metrics& metrics) {
-  std::vector<size_t> bit_of_query;
-  const std::vector<VertexId> sources = DistinctSources(batch, bit_of_query);
-  // target vertex -> queries waiting on it.
-  std::multimap<VertexId, size_t> by_target;
+  // Cross-batch result cache: a bfs-distance answer is a pure function of
+  // (graph, source, target), so repeats — within or across batches — are
+  // served from memory and only the cache-missing remainder rides the pass.
+  std::vector<size_t> pending;
   for (size_t i = 0; i < batch.queries.size(); ++i) {
-    by_target.emplace(batch.queries[i].query.target, i);
+    const Query& q = batch.queries[i].query;
+    const auto hit = bfs_cache_.find({q.source, q.target});
+    if (hit != bfs_cache_.end()) {
+      values[i] = hit->second;
+      ++stats_.cache_hits;
+    } else {
+      pending.push_back(i);
+      ++stats_.cache_misses;
+    }
   }
-  std::fill(values.begin(), values.end(), kUnreachable);
-  size_t unanswered = batch.queries.size();
+  if (pending.empty()) return;  // Fully cached: no engine pass at all.
+  // Distinct sources over the pending subset only, first-occurrence order.
+  std::vector<VertexId> sources;
+  std::map<VertexId, size_t> bit_of_source;
+  std::vector<size_t> bit_of_query(batch.queries.size(), 0);
+  for (const size_t i : pending) {
+    const VertexId s = batch.queries[i].query.source;
+    auto [it, inserted] = bit_of_source.try_emplace(s, sources.size());
+    if (inserted) sources.push_back(s);
+    bit_of_query[i] = it->second;
+  }
+  FLASH_CHECK_LE(sources.size(), 64u);
+  // target vertex -> pending queries waiting on it.
+  std::multimap<VertexId, size_t> by_target;
+  for (const size_t i : pending) {
+    by_target.emplace(batch.queries[i].query.target, i);
+    values[i] = kUnreachable;
+  }
+  size_t unanswered = pending.size();
   algo::MsBfsCoreOptions core;
   core.on_level = [&](const algo::MsBfsLevel& lv) {
     for (const auto& [v, mask] : lv.fresh) {
@@ -327,6 +356,10 @@ void Server::AnswerBfsDistance(const Batch& batch, std::vector<double>& values,
   };
   stats_.engine_passes++;
   algo::RunMultiSourceBfsCore(graph_, sources, runtime_, core, &metrics);
+  for (const size_t i : pending) {
+    const Query& q = batch.queries[i].query;
+    bfs_cache_.emplace(std::make_pair(q.source, q.target), values[i]);
+  }
 }
 
 void Server::AnswerKHop(const Batch& batch, std::vector<double>& values,
@@ -400,12 +433,22 @@ void Server::BuildLandmarkCache(Metrics& metrics) {
 
 void Server::AnswerLandmark(const Batch& batch, std::vector<double>& values,
                             Metrics& metrics) {
-  if (landmark_dist_.empty()) BuildLandmarkCache(metrics);
   const VertexId n = graph_->NumVertices();
   for (size_t i = 0; i < batch.queries.size(); ++i) {
     const Query& q = batch.queries[i].query;
+    const auto hit = landmark_cache_.find({q.source, q.target});
+    if (hit != landmark_cache_.end()) {
+      values[i] = hit->second;
+      ++stats_.cache_hits;
+      continue;
+    }
+    ++stats_.cache_misses;
+    // Deferred past the cache lookup: a batch served fully from cache never
+    // builds (or pays for) the landmark table.
+    if (landmark_dist_.empty()) BuildLandmarkCache(metrics);
     if (q.source == q.target) {
       values[i] = 0.0;
+      landmark_cache_.emplace(std::make_pair(q.source, q.target), values[i]);
       continue;
     }
     uint64_t best = algo::kInf32;
@@ -417,6 +460,7 @@ void Server::AnswerLandmark(const Batch& batch, std::vector<double>& values,
     }
     values[i] =
         best == algo::kInf32 ? kUnreachable : static_cast<double>(best);
+    landmark_cache_.emplace(std::make_pair(q.source, q.target), values[i]);
   }
 }
 

@@ -82,6 +82,12 @@ struct ServingStats {
   uint64_t shed = 0;
   uint64_t batches = 0;
   uint64_t engine_passes = 0;  // Actual GraphApi runs (landmark cache adds 1).
+  /// Cross-batch result cache accounting (bfs-distance and landmark kinds;
+  /// both answer pure functions of (graph, source, target)). Every cacheable
+  /// query is exactly one of the two, so cache_hits + cache_misses equals
+  /// the answered count of those kinds — the cache conservation invariant.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   std::map<std::string, TenantCounters> tenants;
   std::vector<BatchStat> batch_log;
   std::vector<double> latencies;  // Modelled per-answer latency, answer order.
@@ -156,6 +162,14 @@ class Server {
   /// dist(landmark l, vertex v) at landmarks_cache_[l * n + v]; kInf32 =
   /// unreachable. Empty until the first landmark batch.
   std::vector<uint32_t> landmark_dist_;
+
+  /// Cross-batch result caches, keyed by (source, target). Valid for the
+  /// server's lifetime: the graph is immutable once loaded, and both kinds'
+  /// answers are deterministic — a hit returns the exact value the pass
+  /// would recompute. Queries served entirely from cache skip the engine
+  /// pass (engine_passes does not advance).
+  std::map<std::pair<VertexId, VertexId>, double> bfs_cache_;
+  std::map<std::pair<VertexId, VertexId>, double> landmark_cache_;
 
   std::vector<Answer> answers_;
   ServingStats stats_;

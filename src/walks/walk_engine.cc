@@ -356,6 +356,7 @@ WalkResult WalkEngine::Run(const WalkSpec& spec) {
       const EpochIo io = storage->EndEpoch();
       sample.storage_bytes = io.bytes;
       sample.storage_blocks = io.blocks;
+      sample.storage_decode_bytes = io.decode_bytes;
       result.metrics.storage = storage->stats();
     }
 

@@ -232,6 +232,89 @@ TEST(ServingAdmission, OverflowShedsWithStatusAndConserves) {
   EXPECT_EQ(tenant_a->ivalue, 5u);
 }
 
+TEST(ServingCache, RepeatQueriesHitWithoutNewEnginePasses) {
+  GraphPtr graph = testing::TestGraphs()[4].second;  // tree, 31 vertices
+  ServerOptions options;
+  options.scheduler.batch_window = 8;
+  options.scheduler.max_queue = 64;
+  Server server(graph, Runtime(4), options);
+  // Eight cacheable queries with pairwise-distinct (source, target) keys:
+  // four bfs-distance, four landmark.
+  std::vector<Query> queries;
+  for (size_t i = 0; i < 8; ++i) {
+    Query q;
+    q.kind = (i % 2 == 0) ? QueryKind::kBfsDistance : QueryKind::kLandmark;
+    q.source = static_cast<VertexId>(i * 3);
+    q.target = static_cast<VertexId>(i * 3 + 1);
+    queries.push_back(q);
+  }
+  for (const Query& q : queries) {
+    ASSERT_TRUE(server.Submit(q, 0.0).ok());
+  }
+  server.Drain();
+  const uint64_t passes = server.stats().engine_passes;
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+  EXPECT_EQ(server.stats().cache_misses, 8u);
+  ASSERT_GT(passes, 0u);
+
+  // The identical burst again: answered entirely from the result cache —
+  // hit counters advance, the engine does not run at all.
+  for (const Query& q : queries) {
+    ASSERT_TRUE(server.Submit(q, server.now_s() + 1.0).ok());
+  }
+  server.Drain();
+  EXPECT_EQ(server.stats().engine_passes, passes);
+  EXPECT_EQ(server.stats().cache_hits, 8u);
+  EXPECT_EQ(server.stats().cache_misses, 8u);
+
+  // Cached answers are the exact bits the first round computed.
+  ASSERT_EQ(server.answers().size(), 16u);
+  std::vector<double> values(16, std::numeric_limits<double>::quiet_NaN());
+  for (const Answer& a : server.answers()) values[a.query_id] = a.value;
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(values[i], values[i + 8]) << "query " << i;
+    EXPECT_FALSE(std::isnan(values[i])) << "query " << i;
+  }
+  ExpectConserved(server.stats());
+}
+
+TEST(ServingCache, HitAndMissCountersConserveAcrossMixedKinds) {
+  // Cache conservation on a workload spanning all four kinds: every
+  // answered bfs-distance or landmark query is exactly one of {hit, miss},
+  // so the two counters sum to the cacheable answered count — khop and ppr
+  // never touch them.
+  GraphPtr graph = testing::TestGraphs()[6].second;  // er_medium
+  std::vector<Query> queries = MixedQueries(graph, 48);
+  ServerOptions options;
+  options.scheduler.batch_window = 16;
+  options.scheduler.max_queue = queries.size() + 8;
+  Server server(graph, Runtime(4), options);
+  for (const Query& q : queries) {
+    ASSERT_TRUE(server.Submit(q, 0.0).ok());
+  }
+  server.Drain();
+  const ServingStats& stats = server.stats();
+  uint64_t cacheable = 0;
+  for (const Query& q : queries) {
+    if (q.kind == QueryKind::kBfsDistance || q.kind == QueryKind::kLandmark) {
+      ++cacheable;
+    }
+  }
+  ASSERT_GT(cacheable, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, cacheable);
+  ExpectConserved(stats);
+
+  // The exported series mirror the ledger.
+  obs::Registry registry;
+  stats.ExportTo(registry);
+  const obs::Metric* hits = registry.Find("flash_serving_cache_hit_total");
+  const obs::Metric* misses = registry.Find("flash_serving_cache_miss_total");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  EXPECT_EQ(hits->ivalue, stats.cache_hits);
+  EXPECT_EQ(misses->ivalue, stats.cache_misses);
+}
+
 TEST(ServingDeadlines, CutBatchesNeverExceedConfiguredWait) {
   GraphPtr graph = testing::TestGraphs()[5].second;  // er_small
   const double kWait = 0.002;

@@ -16,6 +16,9 @@
 //                         (paged spills the edge blocks to a temp block
 //                         file and reloads them through the LRU cache)
 //     --block-kb=N        block payload target, KiB       (default 64)
+//     --block-codec=C     raw | delta block payloads      (default delta)
+//                         (delta writes FLSHBLK2 varint-delta neighbor
+//                         lists; raw keeps the FLSHBLK1 byte layout)
 //     --cache-mb=N        LRU block-cache budget, MiB     (default 64)
 //     --prefetch=N        prefetch queue depth, 0 = off   (default 8)
 //   runtime options:
@@ -104,6 +107,7 @@ struct Args {
   bool directed = false;
   std::string storage = "mem";
   int block_kb = 64;
+  std::string block_codec = "delta";
   int cache_mb = 64;
   int prefetch = 8;
   int workers = 4;
@@ -179,6 +183,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->storage = v;
     } else if ((v = value("--block-kb="))) {
       args->block_kb = std::atoi(v);
+    } else if ((v = value("--block-codec="))) {
+      args->block_codec = v;
     } else if ((v = value("--cache-mb="))) {
       args->cache_mb = std::atoi(v);
     } else if ((v = value("--prefetch="))) {
@@ -573,6 +579,14 @@ Result<GraphPtr> PageGraph(const Args& args, const GraphPtr& graph,
   BlockFileOptions save_options;
   save_options.block_payload_bytes =
       uint64_t{static_cast<uint32_t>(std::max(1, args.block_kb))} << 10;
+  if (args.block_codec == "delta") {
+    save_options.codec = BlockCodec::kDelta;
+  } else if (args.block_codec == "raw") {
+    save_options.codec = BlockCodec::kRaw;
+  } else {
+    return Status::InvalidArgument("unknown --block-codec=" +
+                                   args.block_codec + " (raw | delta)");
+  }
   FLASH_RETURN_NOT_OK(SaveBlockFile(*graph, guard->path, save_options));
   PagedOptions options;
   options.cache_bytes =
@@ -598,8 +612,9 @@ int Run(const Args& args) {
       return 1;
     }
     graph = std::move(paged_or).value();
-    std::printf("storage: paged (%s, cache %d MiB, prefetch %d)\n",
-                block_file.path.c_str(), args.cache_mb, args.prefetch);
+    std::printf("storage: paged (%s, codec %s, cache %d MiB, prefetch %d)\n",
+                block_file.path.c_str(), args.block_codec.c_str(),
+                args.cache_mb, args.prefetch);
   } else if (args.storage != "mem") {
     std::fprintf(stderr, "unknown --storage=%s (mem | paged)\n",
                  args.storage.c_str());
